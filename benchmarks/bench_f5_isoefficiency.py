@@ -1,0 +1,75 @@
+"""F5 — Isoefficiency curves W(P) for the three engines.
+
+Paper-shape claim: MC needs only Θ(P log P) work growth to hold
+efficiency; the lattice needs polynomial growth; the transpose-bound ADI
+grows fastest (and cannot reach high efficiency targets at all).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.parallel import MachineSpec
+from repro.perf import isoefficiency_curve
+from repro.utils import Table
+
+SPEC = MachineSpec()
+PS = (2, 4, 8, 16, 32)
+TARGET = 0.5
+
+
+def mc_time(n: int, p: int) -> float:
+    t = (n / p) * SPEC.flop_time * 50
+    if p > 1:
+        t += math.ceil(math.log2(p)) * SPEC.message_time(24)
+    return t
+
+
+def lattice_time(n: int, p: int) -> float:
+    t = (n**3 / p) * SPEC.flop_time * 10
+    if p > 1:
+        t += n * 2 * SPEC.message_time(8 * n)
+    return t
+
+
+def pde_time(n: int, p: int) -> float:
+    t = (n * n / p) * SPEC.flop_time * 30
+    if p > 1:
+        t += 2 * (p - 1) * SPEC.message_time(8.0 * n * n / (p * p))
+    return t
+
+
+def build_f5_table() -> tuple[Table, dict[str, list[int]]]:
+    curves = {
+        "mc (paths)": [w for _, w in isoefficiency_curve(mc_time, PS, TARGET)],
+        "lattice (steps)": [w for _, w in isoefficiency_curve(lattice_time, PS, TARGET)],
+        "pde (grid/axis)": [w for _, w in isoefficiency_curve(pde_time, PS, TARGET)],
+    }
+    table = Table(
+        ["P"] + list(curves),
+        title=f"F5 — isoefficiency W(P) at E = {TARGET}",
+        floatfmt=".6g",
+    )
+    for i, p in enumerate(PS):
+        table.add_row([p] + [curves[k][i] for k in curves])
+    return table, curves
+
+
+def test_f5_isoefficiency(benchmark, show):
+    benchmark(lambda: isoefficiency_curve(mc_time, PS, TARGET))
+    table, curves = build_f5_table()
+    show(table.render())
+    mc = curves["mc (paths)"]
+    # MC tracks P·log₂P growth within 2×.
+    ratios = [mc[i] / (p * math.log2(p)) for i, p in enumerate(PS)]
+    assert max(ratios) / min(ratios) < 2.0
+    # In work units, PDE grows fastest from P=2 to P=32.
+    pde_growth = (curves["pde (grid/axis)"][-1] / curves["pde (grid/axis)"][0]) ** 2
+    lat_growth = (curves["lattice (steps)"][-1] / curves["lattice (steps)"][0]) ** 3
+    mc_growth = mc[-1] / mc[0]
+    assert pde_growth > mc_growth
+    assert pde_growth > lat_growth
+
+
+if __name__ == "__main__":
+    print(build_f5_table()[0].render())

@@ -1,0 +1,94 @@
+"""T4 — Convergence: error vs cost for MC (N^{-1/2}), QMC (≈N^{-1}) and
+the lattice (O(1/n)), all on contracts with exact prices.
+
+Paper-shape claim: the fitted MC slope is ≈ −0.5, the QMC slope is
+markedly steeper, and the (smoothed) lattice error decays ≈ 1/n.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analytic import geometric_basket_price
+from repro.lattice import beg_price
+from repro.market import MultiAssetGBM
+from repro.mc import MonteCarloEngine, QMCSobol
+from repro.payoffs import GeometricBasketCall
+from repro.utils import Table
+
+MODEL = MultiAssetGBM.equicorrelated(3, 100.0, 0.25, 0.05, 0.3)
+W = [1 / 3] * 3
+PAYOFF = GeometricBasketCall(W, 100.0)
+EXACT = None  # filled lazily
+
+
+def _exact() -> float:
+    global EXACT
+    if EXACT is None:
+        EXACT = geometric_basket_price(MODEL, W, 100.0, 1.0)
+    return EXACT
+
+
+def mc_errors(ns, *, seeds=range(8)) -> list[float]:
+    """RMS error over seeds at each N (plain MC)."""
+    out = []
+    for n in ns:
+        errs = [
+            MonteCarloEngine(n, seed=s).price(MODEL, PAYOFF, 1.0).price - _exact()
+            for s in seeds
+        ]
+        out.append(float(np.sqrt(np.mean(np.square(errs)))))
+    return out
+
+
+def qmc_errors(ns) -> list[float]:
+    return [
+        abs(MonteCarloEngine(n, technique=QMCSobol(8, seed=3)).price(
+            MODEL, PAYOFF, 1.0).price - _exact())
+        for n in ns
+    ]
+
+
+def lattice_errors(steps) -> list[float]:
+    out = []
+    for n in steps:
+        a = beg_price(MODEL, PAYOFF, 1.0, n).price
+        b = beg_price(MODEL, PAYOFF, 1.0, n + 1).price
+        out.append(abs(0.5 * (a + b) - _exact()))  # damp odd/even wobble
+    return out
+
+
+def build_t4_table():
+    ns = [4096, 16384, 65536]
+    steps = [16, 32, 64]
+    mc = mc_errors(ns)
+    qmc = qmc_errors(ns)
+    lat = lattice_errors(steps)
+    table = Table(
+        ["N paths", "MC rms err", "QMC err", "lattice steps", "lattice err"],
+        title="T4 — convergence toward the exact geometric-basket price",
+        floatfmt=".3e",
+    )
+    for i in range(3):
+        table.add_row([ns[i], mc[i], qmc[i], steps[i], lat[i]])
+    slopes = {
+        "mc": float(np.polyfit(np.log(ns), np.log(mc), 1)[0]),
+        "qmc": float(np.polyfit(np.log(ns), np.log(np.maximum(qmc, 1e-12)), 1)[0]),
+        "lattice": float(np.polyfit(np.log(steps), np.log(lat), 1)[0]),
+    }
+    return table, slopes
+
+
+def test_t4_convergence(benchmark, show):
+    benchmark(lambda: MonteCarloEngine(16384, seed=0).price(MODEL, PAYOFF, 1.0))
+    table, slopes = build_t4_table()
+    show(table.render() + f"\nfitted slopes: {slopes}")
+    assert -0.75 < slopes["mc"] < -0.3, slopes
+    assert slopes["qmc"] < -0.6, slopes
+    assert slopes["lattice"] < -0.5, slopes
+
+
+if __name__ == "__main__":
+    t, s = build_t4_table()
+    print(t.render())
+    print("slopes:", s)

@@ -1,0 +1,25 @@
+"""Benchmark-suite configuration.
+
+Every module in this directory regenerates one table (T*) or figure (F*)
+of the reconstructed evaluation (see DESIGN.md for the index and
+EXPERIMENTS.md for recorded results). Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+The ``-s`` flag lets the paper-style ASCII tables print; the
+pytest-benchmark timings cover each experiment's representative kernel.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def show(request):
+    """Print an experiment table so it appears in the benchmark log."""
+
+    def _show(text: str) -> None:
+        print("\n" + text + "\n")
+
+    return _show

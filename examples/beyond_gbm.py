@@ -1,0 +1,112 @@
+"""Beyond plain GBM Monte Carlo: the estimator extensions.
+
+Walks through four upgrades a production pricing desk layers onto crude
+Monte Carlo, each validated against an exact reference:
+
+1. jump risk        — Merton jump diffusion vs its closed-form series;
+2. rare payoffs     — importance sampling on a deep out-of-the-money call;
+3. smooth integrands — scrambled Halton vs scrambled Sobol vs plain MC;
+4. path-dependence  — multilevel Monte Carlo on an Asian option.
+
+Run:  python examples/beyond_gbm.py
+"""
+
+import numpy as np
+
+from repro import MonteCarloEngine, MultiAssetGBM
+from repro.analytic import bs_price, merton_price
+from repro.market import MertonJumpDiffusion
+from repro.mc import (
+    DirectSampling,
+    ImportanceSampling,
+    drift_to_strike,
+    mlmc_price,
+)
+from repro.payoffs import AsianArithmeticCall, Call
+from repro.rng import HaltonSequence, SobolSequence
+from repro.utils import Table
+from repro.utils.numerics import norm_ppf
+
+
+def jump_risk() -> None:
+    mj = MertonJumpDiffusion(100, 0.2, 0.05, jump_intensity=1.0,
+                             jump_mean=-0.10, jump_vol=0.15)
+    series = merton_price(100, 100, 0.2, 0.05, 1.0, jump_intensity=1.0,
+                          jump_mean=-0.10, jump_vol=0.15)
+    gbm = bs_price(100, 100, 0.2, 0.05, 1.0)
+    mc = MonteCarloEngine(300_000, technique=DirectSampling(), seed=1).price(
+        mj, Call(100.0), 1.0
+    )
+    print("1) jump risk (Merton λ=1, mean jump −10%)")
+    print(f"   GBM price          : {gbm:.4f}")
+    print(f"   Merton series      : {series:.4f}")
+    print(f"   Merton Monte Carlo : {mc.price:.4f} ± {mc.stderr:.4f}")
+    print(f"   crash premium      : {series - gbm:+.4f}\n")
+
+
+def rare_payoffs() -> None:
+    model = MultiAssetGBM.single(100, 0.2, 0.05)
+    otm = Call(200.0)
+    exact = bs_price(100, 200, 0.2, 0.05, 1.0)
+    plain = MonteCarloEngine(100_000, seed=2).price(model, otm, 1.0)
+    shift = drift_to_strike(model, otm, 1.0)
+    tilted = MonteCarloEngine(100_000, technique=ImportanceSampling(shift),
+                              seed=2).price(model, otm, 1.0)
+    print("2) rare payoffs (K = 200, spot 100 — ~0.1% exercise probability)")
+    print(f"   exact               : {exact:.6f}")
+    print(f"   plain MC            : {plain.price:.6f} ± {plain.stderr:.6f}")
+    print(f"   importance-sampled  : {tilted.price:.6f} ± {tilted.stderr:.6f}")
+    print(f"   variance speedup    : ×{(plain.stderr / tilted.stderr) ** 2:,.0f}\n")
+
+
+def qmc_families() -> None:
+    from repro.analytic import geometric_basket_price
+    from repro.payoffs import GeometricBasketCall
+    from repro.rng import Philox4x32
+
+    model = MultiAssetGBM.equicorrelated(4, 100, 0.25, 0.05, 0.3)
+    payoff = GeometricBasketCall([0.25] * 4, 100.0)
+    exact = geometric_basket_price(model, [0.25] * 4, 100.0, 1.0)
+    df = float(np.exp(-0.05))
+    n = 16_384
+
+    def integrate(u):
+        z = np.asarray(norm_ppf(np.clip(u, 1e-12, 1 - 1e-12)))
+        return df * float(
+            payoff.terminal(model.terminal_from_normals(z, 1.0)).mean()
+        )
+
+    table = Table(["point set", "estimate", "abs error"],
+                  title=f"3) QMC families on a smooth 4-d integrand (N={n})",
+                  floatfmt=".6f")
+    table.add_row(["plain MC",
+                   integrate(Philox4x32(3).uniforms(n * 4).reshape(n, 4)),
+                   abs(integrate(Philox4x32(3).uniforms(n * 4).reshape(n, 4))
+                       - exact)])
+    for name, seq in (
+        ("halton (scrambled)", HaltonSequence(4, scramble=True, seed=5, skip=1)),
+        ("sobol (scrambled)", SobolSequence(4, scramble=True, seed=5, skip=1)),
+    ):
+        est = integrate(seq.next(n))
+        table.add_row([name, est, abs(est - exact)])
+    print(table.render())
+    print(f"   exact: {exact:.6f}\n")
+
+
+def multilevel() -> None:
+    model = MultiAssetGBM.single(100, 0.2, 0.05)
+    res = mlmc_price(model, AsianArithmeticCall(100.0), 1.0, base_steps=4,
+                     levels=4, target_stderr=0.01, seed=5)
+    print("4) multilevel Monte Carlo (Asian call, 64 monitoring dates)")
+    print(f"   price       : {res.price:.4f} ± {res.stderr:.4f}")
+    print(f"   paths/level : {list(res.n_per_level)}")
+    print(f"   level vars  : {[f'{v:.2e}' for v in res.var_per_level]}")
+    print("   (most samples run on the 4-date grid; the fine grids see only "
+          "thousands — that is the whole trick)")
+
+
+if __name__ == "__main__":
+    jump_risk()
+    rare_payoffs()
+    qmc_families()
+    multilevel()

@@ -1,0 +1,84 @@
+"""Bivariate standard normal CDF ``Φ₂(h, k; ρ)``.
+
+Needed by the Stulz two-asset rainbow formulas. Two implementations:
+
+* :func:`bvn_cdf_quadrature` — self-contained: integrates the identity
+  ``∂Φ₂/∂ρ = φ₂(h, k; ρ)`` (Plackett, 1954) from the independent case with
+  high-order Gauss–Legendre nodes, with the correlation path split near the
+  |ρ| → 1 singularity.
+* :func:`bvn_cdf` — uses SciPy's specialized bivariate routine when
+  available and falls back to the quadrature otherwise. The test suite
+  asserts the two agree to ~1e-10 across a (h, k, ρ) grid.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.utils.numerics import norm_cdf
+
+__all__ = ["bvn_cdf", "bvn_cdf_quadrature"]
+
+_GL_NODES, _GL_WEIGHTS = np.polynomial.legendre.leggauss(64)
+
+
+def _bvn_density(h: float, k: float, rho: np.ndarray) -> np.ndarray:
+    """φ₂(h, k; ρ) as a function of ρ (vectorized over ρ)."""
+    one_minus = 1.0 - rho * rho
+    expo = -(h * h - 2.0 * rho * h * k + k * k) / (2.0 * one_minus)
+    return np.exp(expo) / (2.0 * math.pi * np.sqrt(one_minus))
+
+
+def bvn_cdf_quadrature(h: float, k: float, rho: float) -> float:
+    """``P(X ≤ h, Y ≤ k)`` for standard bivariate normals with correlation ρ.
+
+    Plackett's identity gives ``Φ₂(h,k;ρ) = Φ(h)Φ(k) + ∫₀^ρ φ₂(h,k;t) dt``;
+    the integral is evaluated with 64-point Gauss–Legendre per segment,
+    subdividing the path as |t| → 1 where the density steepens.
+    """
+    if not -1.0 <= rho <= 1.0:
+        raise ValidationError(f"correlation must lie in [-1, 1], got {rho}")
+    if math.isinf(h) or math.isinf(k):
+        if h == -math.inf or k == -math.inf:
+            return 0.0
+        if h == math.inf:
+            return float(norm_cdf(k))
+        return float(norm_cdf(h))
+    if rho == 0.0:
+        return float(norm_cdf(h) * norm_cdf(k))
+    if rho >= 1.0:
+        return float(norm_cdf(min(h, k)))
+    if rho <= -1.0:
+        # X = -Y: P(X<=h, -X<=k) = P(-k <= X <= h)
+        return float(max(norm_cdf(h) - norm_cdf(-k), 0.0))
+    # Split [0, rho] so nodes concentrate near the endpoint as |rho|→1.
+    breaks = [0.0, 0.5 * rho, 0.9 * rho, 0.99 * rho, 0.999 * rho, rho]
+    total = 0.0
+    for a, b in zip(breaks[:-1], breaks[1:]):
+        if a == b:
+            continue
+        mid = 0.5 * (a + b)
+        half = 0.5 * (b - a)
+        t = mid + half * _GL_NODES
+        total += half * float(np.dot(_GL_WEIGHTS, _bvn_density(h, k, t)))
+    return float(norm_cdf(h) * norm_cdf(k)) + total
+
+
+def bvn_cdf(h: float, k: float, rho: float) -> float:
+    """``P(X ≤ h, Y ≤ k)``; SciPy fast path with quadrature fallback."""
+    try:
+        from scipy.stats import multivariate_normal
+
+        if not -1.0 <= rho <= 1.0:
+            raise ValidationError(f"correlation must lie in [-1, 1], got {rho}")
+        if abs(rho) >= 1.0 or math.isinf(h) or math.isinf(k):
+            return bvn_cdf_quadrature(h, k, rho)
+        cov = [[1.0, rho], [rho, 1.0]]
+        return float(multivariate_normal(mean=[0.0, 0.0], cov=cov).cdf([h, k]))
+    except ValidationError:
+        raise
+    except Exception:  # pragma: no cover - scipy installed in CI
+        return bvn_cdf_quadrature(h, k, rho)

@@ -1,0 +1,98 @@
+"""Geske (1979) compound option: a call on a call.
+
+At ``t₁`` the holder may pay ``K₁`` for a European call with strike ``K₂``
+expiring at ``t₂ > t₁``. With ``S*`` the critical spot where the inner call
+is worth exactly ``K₁`` at ``t₁``, and ``ρ = √(t₁/t₂)``:
+
+    CoC = S e^{−q t₂} M(a₁, b₁; ρ) − K₂ e^{−r t₂} M(a₂, b₂; ρ)
+          − K₁ e^{−r t₁} Φ(a₂),
+
+``a₁ = [ln(S/S*) + (b + σ²/2)t₁]/(σ√t₁)``, ``a₂ = a₁ − σ√t₁``, and ``b₁,
+b₂`` the same with ``(K₂, t₂)``. ``M`` is the bivariate normal CDF
+(:mod:`repro.analytic.bivariate`). Cross-checked by nested-valuation Monte
+Carlo in the tests (simulate S(t₁), evaluate the inner Black–Scholes value,
+discount the compound exercise).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analytic.bivariate import bvn_cdf
+from repro.analytic.black_scholes import bs_price
+from repro.errors import ConvergenceError, ValidationError
+from repro.utils.numerics import norm_cdf
+from repro.utils.validation import check_positive
+
+__all__ = ["compound_call_price", "critical_spot"]
+
+
+def critical_spot(
+    strike_inner: float,
+    strike_compound: float,
+    vol: float,
+    rate: float,
+    tau: float,
+    *,
+    dividend: float = 0.0,
+    tol: float = 1e-12,
+    max_iter: int = 200,
+) -> float:
+    """Spot S* with ``BS_call(S*, K₂, τ) = K₁`` (bisection; always exists
+    because the call value is increasing and unbounded in S)."""
+    check_positive("strike_inner", strike_inner)
+    check_positive("strike_compound", strike_compound)
+    lo, hi = 1e-8, strike_inner + strike_compound
+    while bs_price(hi, strike_inner, vol, rate, tau, dividend=dividend) < strike_compound:
+        hi *= 2.0
+        if hi > 1e12:
+            raise ConvergenceError("critical spot bracket failed")
+    for _ in range(max_iter):
+        mid = 0.5 * (lo + hi)
+        if bs_price(mid, strike_inner, vol, rate, tau, dividend=dividend) < strike_compound:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < tol * hi:
+            break
+    return 0.5 * (lo + hi)
+
+
+def compound_call_price(
+    spot: float,
+    strike_compound: float,
+    strike_inner: float,
+    t_compound: float,
+    t_inner: float,
+    vol: float,
+    rate: float,
+    *,
+    dividend: float = 0.0,
+) -> float:
+    """Geske price of a call (strike K₁, expiry t₁) on a call (K₂, t₂)."""
+    check_positive("spot", spot)
+    check_positive("strike_compound", strike_compound)
+    check_positive("strike_inner", strike_inner)
+    check_positive("t_compound", t_compound)
+    check_positive("t_inner", t_inner)
+    check_positive("vol", vol)
+    if t_inner <= t_compound:
+        raise ValidationError(
+            f"the inner option must outlive the compound one: t₂={t_inner} ≤ t₁={t_compound}"
+        )
+    b = rate - dividend
+    tau = t_inner - t_compound
+    s_star = critical_spot(strike_inner, strike_compound, vol, rate, tau,
+                           dividend=dividend)
+    sq1 = vol * math.sqrt(t_compound)
+    sq2 = vol * math.sqrt(t_inner)
+    a1 = (math.log(spot / s_star) + (b + 0.5 * vol * vol) * t_compound) / sq1
+    a2 = a1 - sq1
+    b1 = (math.log(spot / strike_inner) + (b + 0.5 * vol * vol) * t_inner) / sq2
+    b2 = b1 - sq2
+    rho = math.sqrt(t_compound / t_inner)
+    return (
+        spot * math.exp(-dividend * t_inner) * bvn_cdf(a1, b1, rho)
+        - strike_inner * math.exp(-rate * t_inner) * bvn_cdf(a2, b2, rho)
+        - strike_compound * math.exp(-rate * t_compound) * float(norm_cdf(a2))
+    )

@@ -1,0 +1,108 @@
+"""Semi-analytic Heston pricing via the characteristic function.
+
+Uses the numerically stable "little Heston trap" formulation of the
+characteristic function (Albrecher, Mayer, Schoutens & Tistaert 2007) —
+branch-cut-safe for long maturities — and prices the European call with the
+two Gil-Pelaez probabilities:
+
+    C = e^{−rT} [ F·P₁ − K·P₂ ],  F = S₀e^{(r−q)T},
+    P₂ = ½ + (1/π) ∫₀^∞ Re[ e^{−iu ln K} φ(u) / (iu) ] du,
+    P₁ = ½ + (1/π) ∫₀^∞ Re[ e^{−iu ln K} φ(u − i) / (iu F) ] du.
+
+The integrals are evaluated with adaptive quadrature. Puts follow from
+parity. This is the baseline for the Heston Monte Carlo sampler.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+
+from repro.errors import ValidationError
+from repro.utils.validation import check_in_range, check_non_negative, check_positive
+
+__all__ = ["heston_price", "heston_charfn"]
+
+
+def heston_charfn(
+    u: complex,
+    spot: float,
+    v0: float,
+    kappa: float,
+    theta: float,
+    xi: float,
+    rho: float,
+    rate: float,
+    expiry: float,
+    dividend: float = 0.0,
+) -> complex:
+    """Characteristic function ``E[e^{iu ln S_T}]`` (little-trap form)."""
+    iu = 1j * u
+    x = math.log(spot) + (rate - dividend) * expiry
+    a = kappa - rho * xi * iu
+    d = cmath.sqrt(a * a + xi * xi * (iu + u * u))
+    g = (a - d) / (a + d)
+    exp_dt = cmath.exp(-d * expiry)
+    log_term = cmath.log((1.0 - g * exp_dt) / (1.0 - g))
+    big_c = (kappa * theta / (xi * xi)) * ((a - d) * expiry - 2.0 * log_term)
+    big_d = ((a - d) / (xi * xi)) * (1.0 - exp_dt) / (1.0 - g * exp_dt)
+    return cmath.exp(iu * x + big_c + big_d * v0)
+
+
+def heston_price(
+    spot: float,
+    strike: float,
+    expiry: float,
+    *,
+    v0: float,
+    kappa: float,
+    theta: float,
+    xi: float,
+    rho: float,
+    rate: float,
+    dividend: float = 0.0,
+    option: str = "call",
+) -> float:
+    """European option price under Heston (Gil-Pelaez inversion)."""
+    check_positive("spot", spot)
+    check_positive("strike", strike)
+    check_positive("expiry", expiry)
+    check_non_negative("v0", v0)
+    check_positive("kappa", kappa)
+    check_positive("theta", theta)
+    check_positive("xi", xi)
+    check_in_range("rho", rho, -1.0, 1.0, inclusive=False)
+    if option not in ("call", "put"):
+        raise ValidationError(f"option must be 'call' or 'put', got {option!r}")
+
+    from scipy.integrate import quad
+
+    params = dict(spot=spot, v0=v0, kappa=kappa, theta=theta, xi=xi,
+                  rho=rho, rate=rate, expiry=expiry, dividend=dividend)
+    forward = spot * math.exp((rate - dividend) * expiry)
+    log_k = math.log(strike)
+
+    def integrand_p2(u: float) -> float:
+        phi = heston_charfn(u, **params)
+        return (cmath.exp(-1j * u * log_k) * phi / (1j * u)).real
+
+    def integrand_p1(u: float) -> float:
+        phi = heston_charfn(u - 1j, **params)
+        return (cmath.exp(-1j * u * log_k) * phi / (1j * u * forward)).real
+
+    # The integrands decay exponentially; split [0, ∞) at a parameter-aware
+    # point to help the adaptive rule.
+    split = max(10.0, 2.0 / math.sqrt(max(v0, theta) * expiry))
+    int_p1 = (quad(integrand_p1, 0.0, split, limit=200)[0]
+              + quad(integrand_p1, split, math.inf, limit=200)[0])
+    int_p2 = (quad(integrand_p2, 0.0, split, limit=200)[0]
+              + quad(integrand_p2, split, math.inf, limit=200)[0])
+    p1 = 0.5 + int_p1 / math.pi
+    p2 = 0.5 + int_p2 / math.pi
+    df = math.exp(-rate * expiry)
+    call = df * (forward * p1 - strike * p2)
+    # Clip tiny negative noise from the quadrature.
+    call = max(call, 0.0)
+    if option == "call":
+        return call
+    return call - df * (forward - strike)

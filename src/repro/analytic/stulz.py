@@ -1,0 +1,92 @@
+"""Stulz (1982) closed forms for two-asset rainbow options.
+
+Calls/puts on the minimum or maximum of two correlated GBM assets, via the
+bivariate normal CDF. The building block is the call-on-min formula; the
+others follow from the identities
+
+    max(S₁,S₂) = S₁ + S₂ − min(S₁,S₂)
+    C_max(K)   = C₁(K) + C₂(K) − C_min(K)
+    P_min(K)   = K·e^{−rT} − PV[min] + C_min(K)   (min/max parity)
+
+with ``PV[min] = S₁e^{−q₁T} − Margrabe(S₁ → S₂)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analytic.bivariate import bvn_cdf
+from repro.analytic.black_scholes import bs_price
+from repro.analytic.margrabe import margrabe_price
+from repro.errors import ValidationError
+from repro.utils.validation import check_in_range, check_positive
+
+__all__ = ["rainbow_two_asset_price", "call_on_min_price"]
+
+
+def call_on_min_price(
+    spot1: float, spot2: float, strike: float,
+    vol1: float, vol2: float, rho: float,
+    rate: float, expiry: float,
+    *, dividend1: float = 0.0, dividend2: float = 0.0,
+) -> float:
+    """Stulz call on ``min(S₁, S₂)`` with strike ``K``."""
+    check_positive("spot1", spot1)
+    check_positive("spot2", spot2)
+    check_positive("strike", strike)
+    check_positive("vol1", vol1)
+    check_positive("vol2", vol2)
+    check_in_range("rho", rho, -1.0, 1.0)
+    check_positive("expiry", expiry)
+    b1 = rate - dividend1
+    b2 = rate - dividend2
+    sigma_sq = vol1 * vol1 - 2.0 * rho * vol1 * vol2 + vol2 * vol2
+    sigma = math.sqrt(max(sigma_sq, 1e-300))
+    sqrt_t = math.sqrt(expiry)
+    d = (math.log(spot1 / spot2) + (b1 - b2 + 0.5 * sigma_sq) * expiry) / (sigma * sqrt_t)
+    y1 = (math.log(spot1 / strike) + (b1 + 0.5 * vol1 * vol1) * expiry) / (vol1 * sqrt_t)
+    y2 = (math.log(spot2 / strike) + (b2 + 0.5 * vol2 * vol2) * expiry) / (vol2 * sqrt_t)
+    rho1 = (vol1 - rho * vol2) / sigma
+    rho2 = (vol2 - rho * vol1) / sigma
+    term1 = spot1 * math.exp((b1 - rate) * expiry) * bvn_cdf(y1, -d, -rho1)
+    term2 = spot2 * math.exp((b2 - rate) * expiry) * bvn_cdf(y2, d - sigma * sqrt_t, -rho2)
+    term3 = strike * math.exp(-rate * expiry) * bvn_cdf(
+        y1 - vol1 * sqrt_t, y2 - vol2 * sqrt_t, rho
+    )
+    return term1 + term2 - term3
+
+
+def rainbow_two_asset_price(
+    spot1: float, spot2: float, strike: float,
+    vol1: float, vol2: float, rho: float,
+    rate: float, expiry: float,
+    *, kind: str = "call-on-min", dividend1: float = 0.0, dividend2: float = 0.0,
+) -> float:
+    """Price any of the four two-asset rainbow contracts.
+
+    ``kind`` ∈ {"call-on-min", "call-on-max", "put-on-min", "put-on-max"}.
+    """
+    kinds = ("call-on-min", "call-on-max", "put-on-min", "put-on-max")
+    if kind not in kinds:
+        raise ValidationError(f"kind must be one of {kinds}, got {kind!r}")
+    common = dict(dividend1=dividend1, dividend2=dividend2)
+    cmin = call_on_min_price(spot1, spot2, strike, vol1, vol2, rho, rate, expiry, **common)
+    if kind == "call-on-min":
+        return cmin
+    df = math.exp(-rate * expiry)
+    c1 = bs_price(spot1, strike, vol1, rate, expiry, dividend=dividend1, option="call")
+    c2 = bs_price(spot2, strike, vol2, rate, expiry, dividend=dividend2, option="call")
+    cmax = c1 + c2 - cmin
+    if kind == "call-on-max":
+        return cmax
+    # Present values of the extremes themselves (K = 0 limits).
+    exch_12 = margrabe_price(spot1, spot2, vol1, vol2, rho, expiry, **common)
+    pv_min = spot1 * math.exp(-dividend1 * expiry) - exch_12
+    pv_max = (
+        spot1 * math.exp(-dividend1 * expiry)
+        + spot2 * math.exp(-dividend2 * expiry)
+        - pv_min
+    )
+    if kind == "put-on-min":
+        return strike * df - pv_min + cmin
+    return strike * df - pv_max + cmax

@@ -1,0 +1,154 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands cover the library's headline flows without writing code:
+
+* ``price`` — price one contract with the MC engine and a confidence
+  interval (optionally against the matching closed form);
+* ``scaling`` — run a strong-scaling sweep of one parallel engine on the
+  simulated machine and print the full diagnostic table;
+* ``portfolio`` — price a seeded random book under each scheduling policy
+  and compare makespans.
+
+The functions return an exit code and print to stdout, so they are unit-
+testable without subprocesses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel pricing of multidimensional derivatives "
+                    "(ICPP 2002 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_price = sub.add_parser("price", help="price one contract by Monte Carlo")
+    p_price.add_argument("--contract", choices=("basket", "rainbow", "spread"),
+                         default="basket")
+    p_price.add_argument("--dim", type=int, default=4,
+                         help="basket dimension (basket contract only)")
+    p_price.add_argument("--paths", type=int, default=100_000)
+    p_price.add_argument("--seed", type=int, default=0)
+    p_price.add_argument("--qmc", action="store_true",
+                         help="use randomized Sobol QMC instead of plain MC")
+
+    p_scale = sub.add_parser("scaling", help="strong-scaling sweep on the "
+                                             "simulated machine")
+    p_scale.add_argument("--engine", choices=("mc", "lattice", "pde"),
+                         default="mc")
+    p_scale.add_argument("--plist", default="1,2,4,8,16,32",
+                         help="comma-separated processor counts")
+    p_scale.add_argument("--paths", type=int, default=200_000)
+    p_scale.add_argument("--steps", type=int, default=200)
+    p_scale.add_argument("--grid", type=int, default=128)
+    p_scale.add_argument("--alpha", type=float, default=50e-6,
+                         help="message latency [s]")
+    p_scale.add_argument("--beta", type=float, default=1e-8,
+                         help="per-byte cost [s/B]")
+    p_scale.add_argument("--seed", type=int, default=0)
+
+    p_book = sub.add_parser("portfolio", help="schedule a random book and "
+                                              "compare policies")
+    p_book.add_argument("--contracts", type=int, default=16)
+    p_book.add_argument("--paths", type=int, default=20_000)
+    p_book.add_argument("--ranks", type=int, default=4)
+    p_book.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_price(args: argparse.Namespace) -> int:
+    from repro.mc import MonteCarloEngine, QMCSobol
+    from repro.workloads import basket_workload, rainbow_workload, spread_workload
+
+    if args.contract == "basket":
+        w = basket_workload(args.dim)
+    elif args.contract == "rainbow":
+        w = rainbow_workload()
+    else:
+        w = spread_workload()
+    technique = QMCSobol(8) if args.qmc else None
+    n = args.paths
+    if args.qmc and n % 8:
+        n += 8 - n % 8  # round up to the replicate count
+    engine = MonteCarloEngine(n, technique=technique, seed=args.seed)
+    result = engine.price(w.model, w.payoff, w.expiry)
+    lo, hi = result.confidence_interval()
+    print(f"contract : {w.name} (dim={w.dim}, expiry={w.expiry})")
+    print(f"paths    : {result.n_paths} ({result.technique})")
+    print(f"price    : {result.price:.6f} ± {result.stderr:.6f}")
+    print(f"95% CI   : [{lo:.6f}, {hi:.6f}]")
+    return 0
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    from repro.core import ParallelLatticePricer, ParallelMCPricer, ParallelPDEPricer
+    from repro.parallel import MachineSpec
+    from repro.perf import ScalingExperiment
+    from repro.workloads import basket_workload, rainbow_workload, spread_workload
+
+    try:
+        p_list = [int(tok) for tok in args.plist.split(",") if tok.strip()]
+    except ValueError:
+        print(f"error: --plist must be comma-separated integers, got {args.plist!r}",
+              file=sys.stderr)
+        return 2
+    if not p_list or any(p <= 0 for p in p_list):
+        print("error: --plist needs positive processor counts", file=sys.stderr)
+        return 2
+    spec = MachineSpec(alpha=args.alpha, beta=args.beta)
+    if args.engine == "mc":
+        w = basket_workload(4)
+        pricer = ParallelMCPricer(args.paths, seed=args.seed, spec=spec)
+        label = f"MC — 4-asset basket, N={args.paths}"
+    elif args.engine == "lattice":
+        w = rainbow_workload()
+        pricer = ParallelLatticePricer(args.steps, spec=spec)
+        label = f"BEG lattice — 2-asset max-call, {args.steps} steps"
+    else:
+        w = spread_workload()
+        pricer = ParallelPDEPricer(n_space=args.grid, n_time=max(args.steps // 8, 4),
+                                   spec=spec)
+        label = f"ADI PDE — spread call, {args.grid}² grid"
+    exp = ScalingExperiment(pricer, w.model, w.payoff, w.expiry, label=label)
+    print(exp.report(p_list))
+    return 0
+
+
+def _cmd_portfolio(args: argparse.Namespace) -> int:
+    from repro.core import PortfolioPricer
+    from repro.utils import Table
+    from repro.workloads import random_portfolio
+
+    book = random_portfolio(args.contracts, dim=4, seed=args.seed)
+    table = Table(["schedule", "makespan [s]", "imbalance", "book value"],
+                  title=f"{args.contracts} contracts on {args.ranks} ranks",
+                  floatfmt=".4g")
+    for sched in ("block", "cyclic", "lpt", "dynamic"):
+        run = PortfolioPricer(args.paths, schedule=sched, seed=args.seed).run(
+            book, args.ranks
+        )
+        table.add_row([sched, run.sim_time, run.imbalance, run.total_value])
+    print(table.render())
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "price":
+        return _cmd_price(args)
+    if args.command == "scaling":
+        return _cmd_scaling(args)
+    return _cmd_portfolio(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,149 @@
+"""Parallel multidimensional lattice pricer: level-synchronous slab
+decomposition of the BEG backward induction.
+
+At level ``t`` the value tensor has ``(t+1)^d`` nodes. Its leading axis is
+block-partitioned into (at most) P contiguous slabs; each rank updates its
+slab with :meth:`BEGLattice.step_rows`, which needs exactly one halo plane
+(``(t+2)^{d−1}`` values) from the next rank — the corner-stencil offsets
+along the sliced axis are only 0 or 1. One halo exchange per level is the
+entire communication; the level-synchronous structure is also the
+algorithm's weakness: near the root, levels hold fewer rows than ranks, so
+extra ranks idle (charged as idle time), and per-level latency is paid ``n``
+times. That is why lattice speedup saturates (experiments F3/T3) while MC's
+does not — the central comparison of the paper's evaluation.
+
+American exercise adds a per-level intrinsic evaluation on each slab
+(charged as extra work) and a max; values remain bit-identical to the
+sequential sweep, which the integration tests assert for every P.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.result import ParallelRunResult
+from repro.core.work import WorkModel
+from repro.errors import ValidationError
+from repro.lattice.beg import BEGLattice
+from repro.market.gbm import MultiAssetGBM
+from repro.parallel.partition import block_partition
+from repro.parallel.simcluster import MachineSpec, SimulatedCluster
+from repro.payoffs.base import Payoff
+from repro.utils.validation import check_positive, check_positive_int
+
+__all__ = ["ParallelLatticePricer"]
+
+
+class ParallelLatticePricer:
+    """Slab-parallel BEG lattice valuation with simulated timing.
+
+    Parameters
+    ----------
+    steps : lattice time steps ``n``.
+    american : apply early exercise at every level.
+    spec : simulated machine parameters.
+    work : work-unit model.
+    """
+
+    def __init__(
+        self,
+        steps: int,
+        *,
+        american: bool = False,
+        spec: MachineSpec | None = None,
+        work: WorkModel | None = None,
+        record: bool = False,
+    ):
+        self.steps = check_positive_int("steps", steps)
+        self.american = bool(american)
+        self.spec = spec if spec is not None else MachineSpec()
+        self.work = work if work is not None else WorkModel()
+        #: When set, each run's cluster keeps an event trace (result meta
+        #: key "cluster"; render with perf.gantt).
+        self.record = bool(record)
+
+    def price(
+        self,
+        model: MultiAssetGBM,
+        payoff: Payoff,
+        expiry: float,
+        p: int,
+    ) -> ParallelRunResult:
+        """Value ``payoff`` on ``p`` simulated ranks."""
+        check_positive("expiry", expiry)
+        p = check_positive_int("p", p)
+        lattice = BEGLattice(model, expiry, self.steps)
+        d = model.dim
+        n = self.steps
+        node_units = self.work.lattice_node_units(d)
+        intr_units = self.work.intrinsic_node_units(d)
+        cluster = SimulatedCluster(p, self.spec, record=self.record)
+
+        wall0 = time.perf_counter()
+        values = lattice.payoff_values(payoff, n)
+        # Leaf evaluation is parallel over slabs of the terminal tensor.
+        leaf_parts = block_partition(n + 1, min(p, n + 1))
+        plane_leaf = (n + 1) ** (d - 1)
+        for r, (lo, hi) in enumerate(leaf_parts):
+            cluster.compute(r, (hi - lo) * plane_leaf * intr_units)
+
+        for t in range(n - 1, -1, -1):
+            rows = t + 1
+            p_eff = min(p, rows)
+            parts = block_partition(rows, p_eff)
+            slabs = []
+            for lo, hi in parts:
+                slab = lattice.step_rows(values[lo : hi + 1], t, lo, hi - lo)
+                slabs.append(slab)
+            new_values = np.concatenate(slabs, axis=0)
+            if self.american:
+                intrinsic = lattice.payoff_values(payoff, t)
+                np.maximum(new_values, intrinsic, out=new_values)
+            values = new_values
+
+            # --- simulated cost of this level ---
+            plane = rows ** (d - 1)
+            for r, (lo, hi) in enumerate(parts):
+                work_units = (hi - lo) * plane * node_units
+                if self.american:
+                    work_units += (hi - lo) * plane * intr_units
+                cluster.compute(r, work_units)
+            # One halo plane of level t+1 moves across each slab boundary.
+            halo_bytes = ((t + 2) ** (d - 1)) * 8.0
+            cluster.halo_exchange(halo_bytes)
+        wall = time.perf_counter() - wall0
+
+        # Root value lives on rank 0; share it (the paper's codes broadcast
+        # the final price so every node can report).
+        cluster.bcast(8.0, root=0)
+
+        price = float(np.asarray(values).reshape(-1)[0])
+        rep = cluster.report()
+        nodes = sum((t + 1) ** d for t in range(n + 1))
+        return ParallelRunResult(
+            price=price,
+            stderr=0.0,
+            p=p,
+            sim_time=rep["elapsed"],
+            wall_time=wall,
+            compute_time=rep["compute_time"],
+            comm_time=rep["comm_time"],
+            idle_time=rep["idle_time"],
+            messages=rep["messages"],
+            bytes_moved=rep["bytes_moved"],
+            engine="lattice",
+            meta={
+                "steps": n,
+                "dim": d,
+                "branching": 2 ** d,
+                "nodes": nodes,
+                "american": self.american,
+                **({"cluster": cluster} if self.record else {}),
+            },
+        )
+
+    def sweep(self, model, payoff, expiry, p_list) -> list[ParallelRunResult]:
+        """Price at each P in ``p_list``."""
+        return [self.price(model, payoff, expiry, p) for p in p_list]

@@ -1,0 +1,193 @@
+"""Parallel Longstaff–Schwartz: American Monte Carlo with distributed
+regression.
+
+The LSM backward induction is MC's *synchronized iterative algorithm*: at
+every exercise date the regression couples all paths, so ranks cannot
+proceed independently the way European path-averaging does. The classical
+parallel formulation (used by the era's American-MC codes):
+
+1. paths are block-partitioned; rank r simulates and stores its own block;
+2. at each exercise date, each rank builds the **normal-equation moments**
+   of its in-the-money paths — ``A_r = X_rᵀX_r`` (k×k) and
+   ``b_r = X_rᵀy_r`` (k) — an O(k²) payload independent of the path count;
+3. one allreduce sums the moments; every rank solves the same tiny k×k
+   system, so all ranks hold the *global* regression coefficients;
+4. exercise decisions are applied locally; the final price is a standard
+   sufficient-statistics reduction.
+
+Communication is one O(k²) allreduce per exercise date — between MC's
+single terminal reduce and the lattice's per-level halos, which is exactly
+where its measured scaling lands (benchmark F12).
+
+The sequential reference solves the same normal equations
+(:class:`LongstaffSchwartz` with ``rcond``-free lstsq is numerically
+equivalent for these small, scaled bases); paths are generated from the
+master seed independently of P, so the estimate varies across P only
+through the allreduce's floating-point association.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+
+from repro.core.result import ParallelRunResult
+from repro.core.work import WorkModel
+from repro.errors import ValidationError
+from repro.market.gbm import MultiAssetGBM
+from repro.mc.american import polynomial_features
+from repro.mc.statistics import SampleStats
+from repro.parallel.partition import block_partition
+from repro.parallel.simcluster import MachineSpec, SimulatedCluster
+from repro.payoffs.base import Payoff
+from repro.rng import Philox4x32
+from repro.utils.validation import check_positive, check_positive_int
+
+__all__ = ["ParallelLSMPricer"]
+
+
+class ParallelLSMPricer:
+    """Distributed-regression LSM over the simulated machine.
+
+    Parameters
+    ----------
+    n_paths : total simulated paths.
+    steps : exercise dates.
+    degree : regression polynomial degree.
+    seed, spec, work : as in the other parallel pricers.
+    """
+
+    def __init__(
+        self,
+        n_paths: int,
+        steps: int,
+        *,
+        degree: int = 2,
+        seed: int = 0,
+        spec: MachineSpec | None = None,
+        work: WorkModel | None = None,
+        min_regression_paths: int = 32,
+    ):
+        self.n_paths = check_positive_int("n_paths", n_paths)
+        self.steps = check_positive_int("steps", steps)
+        self.degree = check_positive_int("degree", degree)
+        self.seed = int(seed)
+        self.spec = spec if spec is not None else MachineSpec()
+        self.work = work if work is not None else WorkModel()
+        self.min_regression_paths = check_positive_int(
+            "min_regression_paths", min_regression_paths
+        )
+
+    def price(
+        self,
+        model: MultiAssetGBM,
+        payoff: Payoff,
+        expiry: float,
+        p: int,
+    ) -> ParallelRunResult:
+        """Price an American/Bermudan contract on ``p`` simulated ranks."""
+        check_positive("expiry", expiry)
+        p = check_positive_int("p", p)
+        if payoff.dim != model.dim:
+            raise ValidationError(
+                f"payoff dim {payoff.dim} does not match model dim {model.dim}"
+            )
+        n, m, d = self.n_paths, self.steps, model.dim
+        if p > n:
+            raise ValidationError(f"more ranks ({p}) than paths ({n})")
+        parts = block_partition(n, p)
+
+        wall0 = time.perf_counter()
+        # Paths come from the master stream regardless of P (the estimate is
+        # then P-invariant up to the allreduce's float association).
+        paths = model.sample_paths(Philox4x32(self.seed, stream=0x15A), n,
+                                   expiry, m)
+        dt = expiry / m
+        disc = math.exp(-model.rate * dt)
+
+        cash = payoff.intrinsic(paths[:, -1, :])
+        tau = np.full(n, m, dtype=np.int64)
+
+        cluster = SimulatedCluster(p, self.spec)
+        path_units = self.work.mc_path_units(d, m)
+        for r, (lo, hi) in enumerate(parts):
+            cluster.compute(r, (hi - lo) * path_units)
+
+        # Basis size for the work model and the allreduce payload.
+        k = polynomial_features(np.ones((1, d)), self.degree,
+                                model.spots).shape[1]
+        moment_bytes = (k * k + k + 1) * 8.0
+
+        for t in range(m - 1, 0, -1):
+            s_t = paths[:, t, :]
+            intrinsic = payoff.intrinsic(s_t)
+            itm = intrinsic > 0.0
+            realized = cash * np.power(disc, tau - t)
+
+            # --- per-rank local moments + simulated cost -------------------
+            a_global = np.zeros((k, k))
+            b_global = np.zeros(k)
+            count_global = 0
+            for r, (lo, hi) in enumerate(parts):
+                sel = np.zeros(n, dtype=bool)
+                sel[lo:hi] = itm[lo:hi]
+                n_sel = int(sel.sum())
+                count_global += n_sel
+                if n_sel:
+                    x_loc = polynomial_features(s_t[sel], self.degree,
+                                                model.spots)
+                    a_global += x_loc.T @ x_loc
+                    b_global += x_loc.T @ realized[sel]
+                cluster.compute(r, n_sel * self.work.regression_per_path * k)
+            cluster.allreduce(moment_bytes)
+
+            if count_global < self.min_regression_paths:
+                continue
+            # Ridge whisker for rank-deficient dates (few ITM paths).
+            coef = np.linalg.solve(
+                a_global + 1e-10 * np.trace(a_global) / k * np.eye(k), b_global
+            )
+
+            # --- local exercise decisions ---------------------------------
+            continuation = polynomial_features(s_t[itm], self.degree,
+                                               model.spots) @ coef
+            exercise = np.zeros(n, dtype=bool)
+            exercise[itm] = intrinsic[itm] >= continuation
+            cash = np.where(exercise, intrinsic, cash)
+            tau = np.where(exercise, t, tau)
+            for r, (lo, hi) in enumerate(parts):
+                cluster.compute(r, (hi - lo) * 2.0)
+
+        pv = cash * np.exp(-model.rate * dt * tau)
+        partials = [SampleStats.from_values(pv[lo:hi]) for lo, hi in parts]
+        merged = cluster.reduce_data(partials, lambda a, b: a.merge(b), 24.0,
+                                     root=0, topology="tree")
+        price = merged.mean
+        stderr = merged.stderr
+        intrinsic0 = float(payoff.intrinsic(paths[:, 0, :])[0])
+        if intrinsic0 > price:
+            price = intrinsic0
+        wall = time.perf_counter() - wall0
+
+        rep = cluster.report()
+        return ParallelRunResult(
+            price=price,
+            stderr=stderr,
+            p=p,
+            sim_time=rep["elapsed"],
+            wall_time=wall,
+            compute_time=rep["compute_time"],
+            comm_time=rep["comm_time"],
+            idle_time=rep["idle_time"],
+            messages=rep["messages"],
+            bytes_moved=rep["bytes_moved"],
+            engine="lsm",
+            meta={"steps": m, "degree": self.degree, "basis_size": k,
+                  "n_paths": n},
+        )
+
+    def sweep(self, model, payoff, expiry, p_list) -> list[ParallelRunResult]:
+        """Price at each P in ``p_list``."""
+        return [self.price(model, payoff, expiry, p) for p in p_list]

@@ -1,0 +1,218 @@
+"""Parallel Monte Carlo pricer: path-wise domain decomposition.
+
+Algorithm (per rank r of P):
+
+1. the path count is block-partitioned: rank r simulates ``n_r`` paths,
+   ``|n_r − n/P| ≤ 1``;
+2. rank r owns substream r of the master generator (key-split, block-split
+   or leapfrog — chosen at construction), so its draws are disjoint from
+   every other rank's by construction;
+3. rank r accumulates its technique's sufficient statistics — an O(1)
+   payload regardless of ``n_r`` (e.g. 24 bytes for plain MC);
+4. a binomial-tree reduction combines partials to rank 0 in ⌈log₂ P⌉
+   rounds; rank 0 finalizes the estimator.
+
+The *estimate* is a pure function of (master seed, partition scheme, P),
+not of which backend executes the ranks or in what order — asserted in the
+integration tests by pricing the same job on serial, thread and process
+backends. Simulated time charges each rank its per-path work and the
+reduction its α–β cost; with O(1) payloads the communication term is
+⌈log₂ P⌉(α + 24β), which is why this workload scales almost linearly
+(experiments T2/F1/F2).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.core.result import ParallelRunResult
+from repro.core.work import WorkModel
+from repro.market.gbm import MultiAssetGBM
+from repro.mc.qmc import QMCSobol
+from repro.mc.statistics import CrossStats, SampleStats, StrataStats
+from repro.mc.variance_reduction import PlainMC, Technique
+from repro.parallel.backends import ExecutionBackend, SerialBackend
+from repro.parallel.partition import block_sizes
+from repro.parallel.simcluster import MachineSpec, SimulatedCluster
+from repro.payoffs.base import Payoff
+from repro.rng import Philox4x32
+from repro.rng.streams import StreamPartition, make_substreams
+from repro.utils.validation import check_positive, check_positive_int
+
+__all__ = ["ParallelMCPricer"]
+
+
+def _partial_nbytes(partial) -> float:
+    """Wire size (bytes) of one technique partial — the reduce payload."""
+    if isinstance(partial, SampleStats):
+        return 3 * 8
+    if isinstance(partial, CrossStats):
+        return 6 * 8
+    if isinstance(partial, StrataStats):
+        return 3 * 8 * len(partial.strata)
+    if isinstance(partial, tuple):  # QMC replicate tuple
+        return sum(_partial_nbytes(p) for p in partial)
+    raise ValidationError(f"unknown partial type {type(partial).__name__}")
+
+
+def _rank_task(task):
+    """Module-level worker (picklable for the process backend)."""
+    technique, model, payoff, expiry, n, gen, steps, skip = task
+    if skip is None:
+        return technique.partial(model, payoff, expiry, n, gen, steps=steps)
+    return technique.partial(model, payoff, expiry, n, gen, steps=steps, skip=skip)
+
+
+class ParallelMCPricer:
+    """Parallel Monte Carlo over a simulated (and optionally real) machine.
+
+    Parameters
+    ----------
+    n_paths : total paths across all ranks.
+    technique : estimator strategy (default :class:`PlainMC`); QMC is
+        supported — ranks then split the *same* Sobol point set by blocks.
+    steps : monitoring dates for path-dependent payoffs.
+    scheme : RNG substream scheme (default key splitting).
+    seed : master seed.
+    spec : simulated machine parameters.
+    backend : real execution backend (default serial).
+    reduce_topology : "tree" (default) or "linear" — ablated in F7.
+    work : work-unit model for simulated compute accounting.
+    """
+
+    def __init__(
+        self,
+        n_paths: int,
+        *,
+        technique: Technique | None = None,
+        steps: int | None = None,
+        scheme: StreamPartition | str = StreamPartition.KEYED,
+        seed: int = 0,
+        spec: MachineSpec | None = None,
+        backend: ExecutionBackend | None = None,
+        reduce_topology: str = "tree",
+        work: WorkModel | None = None,
+        record: bool = False,
+    ):
+        self.n_paths = check_positive_int("n_paths", n_paths)
+        self.technique = technique if technique is not None else PlainMC()
+        self.steps = None if steps is None else check_positive_int("steps", steps)
+        self.scheme = StreamPartition(scheme)
+        self.seed = int(seed)
+        self.spec = spec if spec is not None else MachineSpec()
+        self.backend = backend if backend is not None else SerialBackend()
+        if reduce_topology not in ("tree", "linear"):
+            raise ValidationError(
+                f"reduce_topology must be 'tree' or 'linear', got {reduce_topology!r}"
+            )
+        self.reduce_topology = reduce_topology
+        self.work = work if work is not None else WorkModel()
+        #: When set, each run's cluster keeps an event trace and is attached
+        #: to the result meta under "cluster" (render with perf.gantt).
+        self.record = bool(record)
+
+    # ------------------------------------------------------------------
+
+    def _build_tasks(self, model, payoff, expiry, p):
+        """Per-rank task tuples plus per-rank path counts."""
+        if isinstance(self.technique, QMCSobol):
+            reps = self.technique.replicates
+            if self.n_paths % reps:
+                raise ValidationError(
+                    f"n_paths={self.n_paths} must be a multiple of the QMC "
+                    f"replicate count {reps}"
+                )
+            per_rep = self.n_paths // reps
+            sizes = block_sizes(per_rep, p)
+            offsets = np.concatenate([[0], np.cumsum(sizes)[:-1]])
+            gens = [Philox4x32(self.seed, stream=r) for r in range(p)]  # unused by QMC
+            tasks = []
+            counts = []
+            for r in range(p):
+                n_r = sizes[r] * reps
+                counts.append(n_r)
+                tasks.append(
+                    (self.technique, model, payoff, expiry, n_r, gens[r],
+                     self.steps, int(offsets[r]))
+                )
+            return tasks, counts
+        master = Philox4x32(self.seed)
+        subs = make_substreams(master, p, self.scheme)
+        counts = block_sizes(self.n_paths, p)
+        tasks = [
+            (self.technique, model, payoff, expiry, counts[r], subs[r], self.steps, None)
+            for r in range(p)
+        ]
+        return tasks, counts
+
+    def price(
+        self,
+        model: MultiAssetGBM,
+        payoff: Payoff,
+        expiry: float,
+        p: int,
+    ) -> ParallelRunResult:
+        """Price on ``p`` simulated ranks; returns estimate + T(P) breakdown."""
+        check_positive("expiry", expiry)
+        p = check_positive_int("p", p)
+        if p > self.n_paths:
+            raise ValidationError(f"more ranks ({p}) than paths ({self.n_paths})")
+        if payoff.dim != model.dim:
+            raise ValidationError(
+                f"payoff dim {payoff.dim} does not match model dim {model.dim}"
+            )
+        tasks, counts = self._build_tasks(model, payoff, expiry, p)
+        zero_ranks = [r for r, c in enumerate(counts) if c == 0]
+        if zero_ranks:
+            raise ValidationError(
+                f"ranks {zero_ranks} would receive zero paths; reduce p or raise n_paths"
+            )
+
+        wall0 = time.perf_counter()
+        partials = self.backend.map(_rank_task, tasks)
+        wall = time.perf_counter() - wall0
+
+        # --- simulated machine accounting ---
+        cluster = SimulatedCluster(p, self.spec, record=self.record)
+        units = self.work.mc_path_units(model.dim, self.steps)
+        cluster.compute_all([c * units for c in counts])
+        # The partials travel the simulated reduction schedule: the merged
+        # value (including its floating-point association order) is exactly
+        # what the modeled machine's reduce would deliver at rank 0.
+        merged = cluster.reduce_data(
+            partials,
+            lambda a, b: self.technique.combine([a, b]),
+            _partial_nbytes(partials[0]),
+            root=0,
+            topology=self.reduce_topology,
+        )
+        price, stderr, n_eff = self.technique.finalize(merged)
+        rep = cluster.report()
+        return ParallelRunResult(
+            price=price,
+            stderr=stderr,
+            p=p,
+            sim_time=rep["elapsed"],
+            wall_time=wall,
+            compute_time=rep["compute_time"],
+            comm_time=rep["comm_time"],
+            idle_time=rep["idle_time"],
+            messages=rep["messages"],
+            bytes_moved=rep["bytes_moved"],
+            engine="mc",
+            meta={
+                "technique": self.technique.name,
+                "n_paths": n_eff,
+                "scheme": self.scheme.value,
+                "reduce_topology": self.reduce_topology,
+                "counts": counts,
+                **({"cluster": cluster} if self.record else {}),
+            },
+        )
+
+    def sweep(self, model, payoff, expiry, p_list) -> list[ParallelRunResult]:
+        """Price at each P in ``p_list`` (fresh cluster per point)."""
+        return [self.price(model, payoff, expiry, p) for p in p_list]

@@ -1,0 +1,76 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so downstream users can catch one base class. Subclasses
+partition failures by subsystem:
+
+* :class:`ValidationError` — bad user input (shapes, signs, ranges).
+* :class:`ModelError` — an internally inconsistent market model
+  (e.g. a correlation matrix that is not positive semi-definite).
+* :class:`ConvergenceError` — an iterative numerical routine failed to
+  converge within its iteration budget (PSOR, isoefficiency solver, ...).
+* :class:`PartitionError` — a work-partitioning request that cannot be
+  satisfied (zero workers, negative work, ...).
+* :class:`BackendError` — failures in a parallel execution backend.
+* :class:`StabilityError` — a finite-difference scheme was configured
+  outside its stability region.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "ModelError",
+    "ConvergenceError",
+    "PartitionError",
+    "BackendError",
+    "StabilityError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ValidationError(ReproError, ValueError):
+    """Raised when user-supplied arguments fail validation.
+
+    Also derives from :class:`ValueError` so generic callers that guard
+    with ``except ValueError`` keep working.
+    """
+
+
+class ModelError(ReproError):
+    """Raised when a market model is internally inconsistent."""
+
+
+class ConvergenceError(ReproError):
+    """Raised when an iterative numerical method fails to converge."""
+
+    def __init__(self, message: str, iterations: int | None = None, residual: float | None = None):
+        super().__init__(message)
+        #: Number of iterations performed before giving up, if known.
+        self.iterations = iterations
+        #: Final residual when iteration stopped, if known.
+        self.residual = residual
+
+
+class PartitionError(ReproError, ValueError):
+    """Raised when a work-partitioning request is unsatisfiable."""
+
+
+class BackendError(ReproError, RuntimeError):
+    """Raised when a parallel execution backend fails."""
+
+
+class StabilityError(ReproError):
+    """Raised when an explicit FD scheme is configured unstably.
+
+    Carries the offending CFL-like number so callers can resize the grid.
+    """
+
+    def __init__(self, message: str, cfl: float | None = None):
+        super().__init__(message)
+        #: The stability number that exceeded its bound, if known.
+        self.cfl = cfl

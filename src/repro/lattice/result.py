@@ -1,0 +1,36 @@
+"""Result object for lattice valuations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["LatticeResult"]
+
+
+@dataclass(frozen=True)
+class LatticeResult:
+    """A lattice price with grid diagnostics.
+
+    Attributes
+    ----------
+    price : value at the root node.
+    steps : number of time steps.
+    nodes : total node count processed (work measure used by the
+        performance harness: lattice work ∝ nodes × branching).
+    delta : first-derivative estimate(s) from the first lattice level
+        (per asset; ``None`` when unavailable).
+    gamma : second-derivative estimate (1-D lattices only).
+    meta : scheme name, branching factor, and friends.
+    """
+
+    price: float
+    steps: int
+    nodes: int
+    delta: np.ndarray | None = None
+    gamma: float | None = None
+    meta: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return f"{self.price:.6f} (lattice, steps={self.steps}, nodes={self.nodes})"

@@ -1,0 +1,50 @@
+"""Two-grid Richardson extrapolation for lattice prices.
+
+Binomial prices converge at O(1/n) (with an oscillating component); pricing
+at ``n`` and ``2n`` steps and combining ``2·P(2n) − P(n)`` cancels the
+leading error term. Used in the convergence experiment (T4) to demonstrate
+the standard accuracy/cost trade-off on the lattice side.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ValidationError
+from repro.lattice.result import LatticeResult
+from repro.utils.validation import check_positive_int
+
+__all__ = ["richardson_price"]
+
+
+def richardson_price(
+    price_fn: Callable[[int], LatticeResult],
+    steps: int,
+    *,
+    order: float = 1.0,
+) -> LatticeResult:
+    """Extrapolate ``price_fn`` (steps → :class:`LatticeResult`) at ``steps``.
+
+    ``order`` is the assumed convergence order p: the combination is
+    ``(2^p·P(2n) − P(n)) / (2^p − 1)`` (p = 1 for plain binomial trees).
+    """
+    n = check_positive_int("steps", steps)
+    if order <= 0:
+        raise ValidationError(f"order must be positive, got {order}")
+    coarse = price_fn(n)
+    fine = price_fn(2 * n)
+    w = 2.0 ** order
+    price = (w * fine.price - coarse.price) / (w - 1.0)
+    return LatticeResult(
+        price=price,
+        steps=2 * n,
+        nodes=coarse.nodes + fine.nodes,
+        delta=fine.delta,
+        gamma=fine.gamma,
+        meta={
+            "scheme": "richardson",
+            "order": order,
+            "coarse_price": coarse.price,
+            "fine_price": fine.price,
+        },
+    )

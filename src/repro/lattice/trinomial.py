@@ -1,0 +1,97 @@
+"""Boyle / Kamrad–Ritchken trinomial lattice (one asset).
+
+Three branches per node (up, flat, down) with stretch ``λ ≥ 1``:
+``u = e^{λσ√Δt}``,
+
+    p_u = 1/(2λ²) + (b − σ²/2)√Δt / (2λσ)
+    p_m = 1 − 1/λ²
+    p_d = 1/(2λ²) − (b − σ²/2)√Δt / (2λσ).
+
+Converges faster per step than the binomial (more nodes per level) and is
+the 1-D member of the lattice family the parallel slice decomposition
+handles (bandwidth-3 stencil instead of bandwidth-2).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import StabilityError, ValidationError
+from repro.lattice.result import LatticeResult
+from repro.payoffs.base import Payoff
+from repro.utils.validation import check_positive, check_positive_int
+
+__all__ = ["trinomial_price"]
+
+
+def trinomial_price(
+    spot: float,
+    payoff: Payoff,
+    vol: float,
+    rate: float,
+    expiry: float,
+    steps: int,
+    *,
+    dividend: float = 0.0,
+    american: bool = False,
+    stretch: float = math.sqrt(3.0),
+) -> LatticeResult:
+    """Price a single-asset contract on a trinomial lattice."""
+    check_positive("spot", spot)
+    check_positive("vol", vol)
+    check_positive("expiry", expiry)
+    check_positive("stretch", stretch)
+    n = check_positive_int("steps", steps)
+    if payoff.dim != 1:
+        raise ValidationError("trinomial_price handles single-asset payoffs")
+    if payoff.is_path_dependent:
+        raise ValidationError("trinomial lattice prices non-path-dependent payoffs only")
+    if stretch < 1.0:
+        raise ValidationError(f"stretch must be ≥ 1 for positive p_m, got {stretch}")
+
+    dt = expiry / n
+    b = rate - dividend
+    lam = stretch
+    drift_term = (b - 0.5 * vol * vol) * math.sqrt(dt) / (2.0 * lam * vol)
+    pu = 1.0 / (2.0 * lam * lam) + drift_term
+    pm = 1.0 - 1.0 / (lam * lam)
+    pd = 1.0 / (2.0 * lam * lam) - drift_term
+    if min(pu, pm, pd) < 0.0 or max(pu, pm, pd) > 1.0:
+        raise StabilityError(
+            f"trinomial probabilities (pu={pu:.4f}, pm={pm:.4f}, pd={pd:.4f}) "
+            "outside [0, 1]: increase steps",
+            cfl=min(pu, pm, pd),
+        )
+    disc = math.exp(-rate * dt)
+    u = math.exp(lam * vol * math.sqrt(dt))
+
+    # Level t has 2t+1 nodes at S = spot · u^{k}, k = −t..t.
+    k = np.arange(-n, n + 1)
+    prices = spot * u ** k.astype(float)
+    values = payoff.terminal(prices[:, None])
+    level1: np.ndarray | None = None
+
+    for t in range(n - 1, -1, -1):
+        values = disc * (pu * values[2:] + pm * values[1:-1] + pd * values[:-2])
+        if american:
+            kt = np.arange(-t, t + 1)
+            prices_t = spot * u ** kt.astype(float)
+            values = np.maximum(values, payoff.intrinsic(prices_t[:, None]))
+        if t == 1:
+            level1 = values.copy()
+
+    price = float(values[0])
+    delta = None
+    if level1 is not None:
+        s_up, s_dn = spot * u, spot / u
+        delta = np.array([(level1[2] - level1[0]) / (s_up - s_dn)])
+    nodes = (n + 1) * (n + 1)  # Σ (2t+1) = (n+1)²
+    return LatticeResult(
+        price=price,
+        steps=n,
+        nodes=nodes,
+        delta=delta,
+        meta={"scheme": "trinomial", "american": american, "pu": pu, "pm": pm, "pd": pd},
+    )

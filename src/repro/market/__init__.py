@@ -1,0 +1,27 @@
+"""Market-model substrate: term structures, correlation tools, and the
+correlated multi-asset geometric Brownian motion model that all three
+pricing engines (MC, lattice, PDE) consume."""
+
+from repro.market.term import FlatCurve, ZeroCurve
+from repro.market.correlation import (
+    cholesky_factor,
+    constant_correlation,
+    random_correlation,
+    is_positive_semidefinite,
+)
+from repro.market.gbm import MultiAssetGBM
+from repro.market.merton import MertonJumpDiffusion, sample_poisson
+from repro.market.heston import HestonModel
+
+__all__ = [
+    "MertonJumpDiffusion",
+    "sample_poisson",
+    "HestonModel",
+    "FlatCurve",
+    "ZeroCurve",
+    "cholesky_factor",
+    "constant_correlation",
+    "random_correlation",
+    "is_positive_semidefinite",
+    "MultiAssetGBM",
+]

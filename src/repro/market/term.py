@@ -1,0 +1,91 @@
+"""Interest-rate term structures.
+
+The pricing engines only need discount factors and (piecewise) forward
+rates; two curves cover the evaluation: a flat continuously compounded
+curve, and a piecewise-linear zero curve for tests that need a non-trivial
+rate environment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.utils.validation import check_non_negative
+
+__all__ = ["FlatCurve", "ZeroCurve"]
+
+
+class FlatCurve:
+    """A flat continuously compounded yield curve ``P(t) = exp(−r·t)``."""
+
+    def __init__(self, rate: float):
+        if not np.isfinite(rate):
+            raise ValidationError(f"rate must be finite, got {rate!r}")
+        self.rate = float(rate)
+
+    def zero_rate(self, t) -> np.ndarray | float:
+        """Continuously compounded zero rate for maturity ``t``."""
+        t_arr = np.asarray(t, dtype=float)
+        out = np.full_like(t_arr, self.rate, dtype=float)
+        return float(out) if out.ndim == 0 else out
+
+    def discount(self, t) -> np.ndarray | float:
+        """Discount factor ``P(0, t)``."""
+        t_arr = np.asarray(t, dtype=float)
+        out = np.exp(-self.rate * t_arr)
+        return float(out) if out.ndim == 0 else out
+
+    def forward_rate(self, t0: float, t1: float) -> float:
+        """Continuously compounded forward rate over ``[t0, t1]``."""
+        check_non_negative("t0", t0)
+        if t1 <= t0:
+            raise ValidationError(f"need t1 > t0, got [{t0}, {t1}]")
+        return self.rate
+
+    def __repr__(self) -> str:
+        return f"FlatCurve(rate={self.rate})"
+
+
+class ZeroCurve:
+    """Piecewise-linear continuously compounded zero curve.
+
+    Parameters
+    ----------
+    times : increasing positive maturities (years).
+    rates : zero rates at those maturities. Flat extrapolation outside.
+    """
+
+    def __init__(self, times, rates):
+        t = np.asarray(times, dtype=float)
+        r = np.asarray(rates, dtype=float)
+        if t.ndim != 1 or r.ndim != 1 or t.size != r.size or t.size == 0:
+            raise ValidationError("times and rates must be equal-length 1-D arrays")
+        if np.any(t <= 0) or np.any(np.diff(t) <= 0):
+            raise ValidationError("times must be strictly increasing and positive")
+        if not (np.all(np.isfinite(t)) and np.all(np.isfinite(r))):
+            raise ValidationError("times and rates must be finite")
+        self.times = t
+        self.rates = r
+
+    def zero_rate(self, t) -> np.ndarray | float:
+        t_arr = np.asarray(t, dtype=float)
+        out = np.interp(t_arr, self.times, self.rates)
+        return float(out) if out.ndim == 0 else out
+
+    def discount(self, t) -> np.ndarray | float:
+        t_arr = np.asarray(t, dtype=float)
+        out = np.exp(-np.asarray(self.zero_rate(t_arr)) * t_arr)
+        return float(out) if out.ndim == 0 else out
+
+    def forward_rate(self, t0: float, t1: float) -> float:
+        check_non_negative("t0", t0)
+        if t1 <= t0:
+            raise ValidationError(f"need t1 > t0, got [{t0}, {t1}]")
+        # f(t0,t1) = (r1·t1 − r0·t0) / (t1 − t0)
+        r0 = float(self.zero_rate(t0)) if t0 > 0 else float(self.rates[0])
+        r1 = float(self.zero_rate(t1))
+        return (r1 * t1 - r0 * t0) / (t1 - t0)
+
+    def __repr__(self) -> str:
+        return f"ZeroCurve(times={self.times.tolist()}, rates={self.rates.tolist()})"

@@ -1,0 +1,56 @@
+"""Direct-sampling estimator: the technique for models that draw their own
+randomness.
+
+The standard techniques hand GBM a block of standard normals (which is what
+lets antithetic/QMC reuse the mapping). Models with non-Gaussian components
+— Merton jump diffusion, and any future model exposing
+``sample_terminal(gen, n, horizon)`` — instead sample internally;
+:class:`DirectSampling` wraps that protocol in the same
+partial/combine/finalize shape, so the parallel pricer and the sequential
+engine work unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.mc.statistics import SampleStats
+from repro.mc.variance_reduction import Technique
+from repro.payoffs.base import Payoff
+
+__all__ = ["DirectSampling"]
+
+
+class DirectSampling(Technique):
+    """Plain MC over a model's own exact terminal sampler.
+
+    Requires the model to expose ``rate``, ``dim`` and
+    ``sample_terminal(gen, n, horizon) -> (n, dim)``.
+    """
+
+    name = "direct"
+
+    def partial(self, model, payoff: Payoff, expiry, n, gen, *, steps=None) -> SampleStats:
+        if payoff.is_path_dependent:
+            raise ValidationError(
+                "DirectSampling prices terminal payoffs only; the model owns "
+                "its sampling and exposes no path protocol"
+            )
+        sampler = getattr(model, "sample_terminal", None)
+        if sampler is None:
+            raise ValidationError(
+                f"{type(model).__name__} does not expose sample_terminal()"
+            )
+        prices = sampler(gen, n, expiry)
+        df = float(np.exp(-model.rate * expiry))
+        return SampleStats.from_values(df * payoff.terminal(prices))
+
+    def combine(self, parts: list[SampleStats]) -> SampleStats:
+        out = SampleStats()
+        for p in parts:
+            out = out.merge(p)
+        return out
+
+    def finalize(self, part: SampleStats) -> tuple[float, float, int]:
+        return part.mean, part.stderr, part.n

@@ -1,0 +1,211 @@
+"""Monte Carlo Greeks.
+
+Two estimators, each validated against the analytic BSM Greeks in the test
+suite:
+
+* :func:`mc_greeks_bump` — central finite differences with **common random
+  numbers**: every revaluation reuses the same Gaussian draws (via cloned
+  generators), which cancels the O(σ/√N) noise of independent revaluations
+  and leaves the O(h²) bias of the central difference.
+* :func:`mc_delta_pathwise` — the pathwise (infinitesimal-perturbation)
+  delta for contracts whose payoff is a.e. differentiable in the spot:
+  vanilla and basket calls/puts. Unbiased and needs no bump.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.market.gbm import MultiAssetGBM
+from repro.mc.variance_reduction import PlainMC, Technique
+from repro.payoffs.base import Payoff
+from repro.payoffs.basket import BasketCall, BasketPut
+from repro.payoffs.vanilla import Call, Put
+from repro.rng import Philox4x32
+from repro.rng.base import BitGenerator
+from repro.utils.validation import check_positive, check_positive_int
+
+__all__ = ["MCGreeks", "mc_greeks_bump", "mc_delta_pathwise",
+           "mc_delta_likelihood_ratio"]
+
+
+@dataclass(frozen=True)
+class MCGreeks:
+    """Bump-and-revalue Greeks for a multi-asset contract."""
+
+    price: float
+    stderr: float
+    delta: np.ndarray
+    gamma: np.ndarray
+    vega: np.ndarray
+    n_paths: int
+    meta: dict = field(default_factory=dict)
+
+
+def _price_with(
+    technique: Technique,
+    model: MultiAssetGBM,
+    payoff: Payoff,
+    expiry: float,
+    n_paths: int,
+    gen: BitGenerator,
+    steps: int | None,
+) -> tuple[float, float]:
+    mean, stderr, _ = technique.estimate(model, payoff, expiry, n_paths, gen, steps=steps)
+    return mean, stderr
+
+
+def mc_greeks_bump(
+    model: MultiAssetGBM,
+    payoff: Payoff,
+    expiry: float,
+    n_paths: int,
+    *,
+    seed: int = 0,
+    rel_bump: float = 0.01,
+    vol_bump: float = 0.01,
+    steps: int | None = None,
+    technique: Technique | None = None,
+) -> MCGreeks:
+    """Price, per-asset delta/gamma and per-asset vega by CRN bumping.
+
+    ``rel_bump`` is the relative spot bump ``h_i = rel_bump · S_i(0)``;
+    ``vol_bump`` is the absolute volatility bump. Every valuation re-runs
+    the same generator clone, so differences are smooth in the bump.
+    """
+    check_positive("expiry", expiry)
+    check_positive_int("n_paths", n_paths)
+    check_positive("rel_bump", rel_bump)
+    check_positive("vol_bump", vol_bump)
+    tech = technique if technique is not None else PlainMC()
+    master = Philox4x32(seed, stream=0xD)
+
+    def value(m: MultiAssetGBM) -> tuple[float, float]:
+        return _price_with(tech, m, payoff, expiry, n_paths, master.clone(), steps)
+
+    price, stderr = value(model)
+    d = model.dim
+    delta = np.empty(d)
+    gamma = np.empty(d)
+    vega = np.empty(d)
+    for i in range(d):
+        h = rel_bump * float(model.spots[i])
+        up_spots = model.spots.copy()
+        dn_spots = model.spots.copy()
+        up_spots[i] += h
+        dn_spots[i] -= h
+        p_up, _ = value(model.with_spots(up_spots))
+        p_dn, _ = value(model.with_spots(dn_spots))
+        delta[i] = (p_up - p_dn) / (2.0 * h)
+        gamma[i] = (p_up - 2.0 * price + p_dn) / (h * h)
+
+        up_vols = model.vols.copy()
+        dn_vols = model.vols.copy()
+        up_vols[i] += vol_bump
+        dn_vols[i] = max(dn_vols[i] - vol_bump, 1e-8)
+        v_up, _ = value(model.with_vols(up_vols))
+        v_dn, _ = value(model.with_vols(dn_vols))
+        vega[i] = (v_up - v_dn) / (float(up_vols[i]) - float(dn_vols[i]))
+    return MCGreeks(
+        price=price,
+        stderr=stderr,
+        delta=delta,
+        gamma=gamma,
+        vega=vega,
+        n_paths=n_paths,
+        meta={"rel_bump": rel_bump, "vol_bump": vol_bump, "technique": tech.name},
+    )
+
+
+def mc_delta_pathwise(
+    model: MultiAssetGBM,
+    payoff: Payoff,
+    expiry: float,
+    n_paths: int,
+    *,
+    seed: int = 0,
+    gen: BitGenerator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pathwise delta vector and its standard errors, shape ``(d,)`` each.
+
+    Supported payoffs: :class:`Call`, :class:`Put`, :class:`BasketCall`,
+    :class:`BasketPut`. For GBM, ``∂S_i(T)/∂S_i(0) = S_i(T)/S_i(0)``, so
+
+        Δ_i = e^{−rT} · E[ 1{exercise} · ∂payoff/∂S_i(T) · S_i(T)/S_i(0) ].
+    """
+    check_positive("expiry", expiry)
+    check_positive_int("n_paths", n_paths)
+    generator = gen if gen is not None else Philox4x32(seed, stream=0xE)
+    s_term = model.sample_terminal(generator, n_paths, expiry)
+    df = float(np.exp(-model.rate * expiry))
+    ratio = s_term / model.spots[None, :]
+
+    if isinstance(payoff, Call):
+        indicator = (s_term[:, payoff.asset] > payoff.strike).astype(float)
+        grad = np.zeros_like(s_term)
+        grad[:, payoff.asset] = indicator * ratio[:, payoff.asset]
+    elif isinstance(payoff, Put):
+        indicator = (s_term[:, payoff.asset] < payoff.strike).astype(float)
+        grad = np.zeros_like(s_term)
+        grad[:, payoff.asset] = -indicator * ratio[:, payoff.asset]
+    elif isinstance(payoff, BasketCall):
+        basket = s_term @ payoff.weights
+        indicator = (basket > payoff.strike).astype(float)
+        grad = indicator[:, None] * payoff.weights[None, :] * ratio
+    elif isinstance(payoff, BasketPut):
+        basket = s_term @ payoff.weights
+        indicator = (basket < payoff.strike).astype(float)
+        grad = -indicator[:, None] * payoff.weights[None, :] * ratio
+    else:
+        raise ValidationError(
+            f"pathwise delta not implemented for {type(payoff).__name__}; "
+            "use mc_greeks_bump"
+        )
+    samples = df * grad
+    delta = samples.mean(axis=0)
+    stderr = samples.std(axis=0, ddof=1) / np.sqrt(n_paths)
+    return delta, stderr
+
+
+def mc_delta_likelihood_ratio(
+    model: MultiAssetGBM,
+    payoff: Payoff,
+    expiry: float,
+    n_paths: int,
+    *,
+    seed: int = 0,
+    gen: BitGenerator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Likelihood-ratio delta — works for *any* terminal payoff, including
+    discontinuous ones (digitals, barriers at expiry) where the pathwise
+    method fails.
+
+    With ``log S(T) = m(S₀) + A z``, ``A = diag(σᵢ√T)·L``, the score of the
+    terminal density w.r.t. ``log S₀ᵢ`` is ``(A⁻ᵀ z)ᵢ``, so
+
+        Δᵢ = e^{−rT} · E[ payoff(S_T) · (A⁻ᵀ z)ᵢ ] / S₀ᵢ.
+
+    The price of generality is a larger variance than the pathwise
+    estimator (clearly visible in the returned standard errors).
+    """
+    check_positive("expiry", expiry)
+    check_positive_int("n_paths", n_paths)
+    if payoff.is_path_dependent:
+        raise ValidationError(
+            "likelihood-ratio delta is implemented for terminal payoffs"
+        )
+    generator = gen if gen is not None else Philox4x32(seed, stream=0x1B)
+    d = model.dim
+    z = generator.normals(n_paths * d).reshape(n_paths, d)
+    s_term = model.terminal_from_normals(z, expiry)
+    df = float(np.exp(-model.rate * expiry))
+    a_matrix = (model.vols * np.sqrt(expiry))[:, None] * model.cholesky
+    # score_i per path: (A^{-T} z)_i — solve Aᵀ x = z for each path.
+    scores = np.linalg.solve(a_matrix.T, z.T).T
+    samples = df * payoff.terminal(s_term)[:, None] * scores / model.spots[None, :]
+    delta = samples.mean(axis=0)
+    stderr = samples.std(axis=0, ddof=1) / np.sqrt(n_paths)
+    return delta, stderr

@@ -1,0 +1,176 @@
+"""Multilevel Monte Carlo (Giles 2008) for discretely monitored payoffs.
+
+For a path-dependent contract whose value depends on the monitoring
+frequency, MLMC telescopes across refinement levels
+
+    E[P_L] = E[P_0] + Σ_{ℓ=1}^{L} E[P_ℓ − P_{ℓ−1}],
+
+estimating each correction with *coupled* fine/coarse paths driven by the
+same Brownian increments (coarse increment = (z_{2i} + z_{2i+1})/√2). The
+coupling makes Var[P_ℓ − P_{ℓ−1}] decay geometrically, so most samples run
+on the cheap coarse grids; sample counts follow Giles' optimal allocation
+``N_ℓ ∝ √(V_ℓ / C_ℓ)`` from a pilot pass.
+
+This targets the *monitoring-frequency* limit (e.g. the near-continuous
+Asian average): GBM sampling itself is exact at every level, so the level-ℓ
+"discretization" is the payoff's own monitoring grid, the honest MLMC use
+case for this library.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.market.gbm import MultiAssetGBM
+from repro.payoffs.base import Payoff
+from repro.rng import Philox4x32
+from repro.utils.validation import check_positive, check_positive_int
+
+__all__ = ["MLMCResult", "mlmc_price"]
+
+
+@dataclass(frozen=True)
+class MLMCResult:
+    """Multilevel estimate with its per-level diagnostics."""
+
+    price: float
+    stderr: float
+    levels: int
+    n_per_level: tuple[int, ...]
+    var_per_level: tuple[float, ...]
+    cost_units: float
+    meta: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return (f"{self.price:.6f} ± {self.stderr:.6f} "
+                f"(mlmc, L={self.levels}, N={list(self.n_per_level)})")
+
+
+def _coarsen(z_fine: np.ndarray) -> np.ndarray:
+    """Pairwise-combine fine Gaussian increments into coarse ones.
+
+    (n, 2m, d) → (n, m, d) with each coarse draw (z₂ᵢ + z₂ᵢ₊₁)/√2 — the
+    same Brownian path observed on the coarse grid.
+    """
+    n, m2, d = z_fine.shape
+    if m2 % 2:
+        raise ValidationError("fine level must have an even number of steps")
+    return (z_fine[:, 0::2, :] + z_fine[:, 1::2, :]) / math.sqrt(2.0)
+
+
+def _level_samples(model: MultiAssetGBM, payoff: Payoff, expiry: float,
+                   level: int, base_steps: int, n: int, gen) -> np.ndarray:
+    """Coupled samples of Y_ℓ = P_ℓ − P_{ℓ−1} (or P_0 at level 0)."""
+    df = float(np.exp(-model.rate * expiry))
+    m_fine = base_steps * (2**level)
+    z = gen.normals(n * m_fine * model.dim).reshape(n, m_fine, model.dim)
+    fine_paths = model.paths_from_normals(z, expiry, m_fine)
+    p_fine = df * payoff.path(fine_paths)
+    if level == 0:
+        return p_fine
+    z_coarse = _coarsen(z)
+    coarse_paths = model.paths_from_normals(z_coarse, expiry, m_fine // 2)
+    p_coarse = df * payoff.path(coarse_paths)
+    return p_fine - p_coarse
+
+
+def mlmc_price(
+    model: MultiAssetGBM,
+    payoff: Payoff,
+    expiry: float,
+    *,
+    base_steps: int = 4,
+    levels: int = 5,
+    target_stderr: float = 0.01,
+    pilot: int = 2_000,
+    seed: int = 0,
+    max_paths_per_level: int = 4_000_000,
+) -> MLMCResult:
+    """Price a path-dependent payoff with multilevel Monte Carlo.
+
+    Parameters
+    ----------
+    base_steps : monitoring dates at level 0.
+    levels : number of correction levels L (finest grid =
+        ``base_steps·2^L`` dates).
+    target_stderr : the allocation aims the total standard error here.
+    pilot : pilot paths per level for the variance estimates.
+    """
+    check_positive("expiry", expiry)
+    check_positive("target_stderr", target_stderr)
+    check_positive_int("base_steps", base_steps)
+    check_positive_int("pilot", pilot)
+    if levels < 0:
+        raise ValidationError(f"levels must be non-negative, got {levels}")
+    if not payoff.is_path_dependent:
+        raise ValidationError(
+            "MLMC refines the monitoring grid; the payoff must be path-dependent"
+        )
+
+    master = Philox4x32(seed, stream=0x317C)
+    gens = master.spawn(levels + 1)
+
+    # --- pilot pass: estimate V_ℓ and C_ℓ ---------------------------------
+    variances: list[float] = []
+    means: list[float] = []
+    costs: list[float] = []
+    pilot_stats: list[tuple[float, float, int]] = []  # (sum, sumsq, n)
+    for lv in range(levels + 1):
+        y = _level_samples(model, payoff, expiry, lv, base_steps, pilot, gens[lv])
+        pilot_stats.append((float(y.sum()), float((y * y).sum()), pilot))
+        mean = y.mean()
+        var = float(y.var(ddof=1))
+        means.append(float(mean))
+        variances.append(max(var, 1e-30))
+        # Cost ∝ fine steps (+ coarse steps for corrections).
+        steps = base_steps * 2**lv
+        costs.append(steps * (1.0 if lv == 0 else 1.5))
+
+    # --- Giles allocation ----------------------------------------------------
+    lagrange = sum(math.sqrt(v * c) for v, c in zip(variances, costs))
+    n_opt = [
+        min(
+            max(int(math.ceil(lagrange * math.sqrt(v / c) / target_stderr**2)),
+                pilot),
+            max_paths_per_level,
+        )
+        for v, c in zip(variances, costs)
+    ]
+
+    # --- main pass: top up each level beyond the pilot ------------------------
+    total_cost = 0.0
+    level_means: list[float] = []
+    level_vars: list[float] = []
+    for lv in range(levels + 1):
+        s, ss, n_done = pilot_stats[lv]
+        extra = n_opt[lv] - n_done
+        batch = 200_000
+        while extra > 0:
+            b = min(batch, extra)
+            y = _level_samples(model, payoff, expiry, lv, base_steps, b, gens[lv])
+            s += float(y.sum())
+            ss += float((y * y).sum())
+            n_done += b
+            extra -= b
+        mean = s / n_done
+        var = max((ss - n_done * mean * mean) / (n_done - 1), 0.0)
+        level_means.append(mean)
+        level_vars.append(var)
+        total_cost += n_done * costs[lv]
+
+    price = float(sum(level_means))
+    stderr = math.sqrt(sum(v / n for v, n in zip(level_vars, n_opt)))
+    return MLMCResult(
+        price=price,
+        stderr=stderr,
+        levels=levels,
+        n_per_level=tuple(n_opt),
+        var_per_level=tuple(level_vars),
+        cost_units=total_cost,
+        meta={"base_steps": base_steps, "target_stderr": target_stderr,
+              "level_means": level_means},
+    )

@@ -1,0 +1,57 @@
+"""Result object returned by every Monte Carlo pricing call."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+from repro.utils.numerics import norm_ppf
+
+__all__ = ["MCResult"]
+
+
+@dataclass(frozen=True)
+class MCResult:
+    """A priced contract with its statistical error.
+
+    Attributes
+    ----------
+    price : discounted Monte Carlo estimate.
+    stderr : standard error of the estimate (0 would mean exact).
+    n_paths : number of simulated paths behind the estimate.
+    technique : name of the estimator ("plain", "antithetic", ...).
+    meta : free-form diagnostics (β for control variates, replicate count
+        for randomized QMC, per-rank info for parallel runs, ...).
+    """
+
+    price: float
+    stderr: float
+    n_paths: int
+    technique: str = "plain"
+    meta: dict = field(default_factory=dict)
+
+    def confidence_interval(self, level: float = 0.95) -> tuple[float, float]:
+        """Normal-approximation confidence interval for the price."""
+        if not 0.0 < level < 1.0:
+            raise ValidationError(f"confidence level must lie in (0, 1), got {level}")
+        z = float(norm_ppf(0.5 + level / 2.0))
+        return (self.price - z * self.stderr, self.price + z * self.stderr)
+
+    @property
+    def half_width_95(self) -> float:
+        """Half-width of the 95% confidence interval."""
+        lo, hi = self.confidence_interval(0.95)
+        return 0.5 * (hi - lo)
+
+    def within(self, exact: float, *, z: float = 4.0) -> bool:
+        """True when ``exact`` lies inside ±z standard errors (test helper)."""
+        if math.isinf(self.stderr):
+            return False
+        return abs(self.price - exact) <= z * max(self.stderr, 1e-12)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.price:.6f} ± {self.stderr:.6f} "
+            f"({self.technique}, n={self.n_paths})"
+        )

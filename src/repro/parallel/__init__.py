@@ -1,0 +1,56 @@
+"""Parallel-execution substrate.
+
+Three layers:
+
+* :mod:`~repro.parallel.partition` — deterministic work partitioners
+  (block, cyclic, block-cyclic) shared by every parallel pricer.
+* :mod:`~repro.parallel.backends` — *real* execution backends (serial,
+  threads, fork processes) that run rank tasks and measure wall time.
+* :mod:`~repro.parallel.simcluster` — the **simulated message-passing
+  multiprocessor**: per-rank virtual clocks, an α–β (latency–bandwidth)
+  communication model, tree/linear collectives, and barrier costs. This is
+  the machine on which the paper-style ``T(P)``/speedup/efficiency curves
+  are generated deterministically (this repo substitutes it for the
+  paper's 2002 hardware; see DESIGN.md).
+"""
+
+from repro.parallel.partition import (
+    block_partition,
+    block_sizes,
+    cyclic_indices,
+    block_cyclic_indices,
+    owner_of,
+)
+from repro.parallel.backends import (
+    ExecutionBackend,
+    SerialBackend,
+    ThreadBackend,
+    ProcessBackend,
+)
+from repro.parallel.simcluster import MachineSpec, SimulatedCluster
+from repro.parallel.collectives import (
+    tree_reduce_time,
+    linear_reduce_time,
+    bcast_time,
+    allreduce_time,
+    alltoall_time,
+)
+
+__all__ = [
+    "block_partition",
+    "block_sizes",
+    "cyclic_indices",
+    "block_cyclic_indices",
+    "owner_of",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "MachineSpec",
+    "SimulatedCluster",
+    "tree_reduce_time",
+    "linear_reduce_time",
+    "bcast_time",
+    "allreduce_time",
+    "alltoall_time",
+]

@@ -1,0 +1,134 @@
+"""Real execution backends for rank tasks.
+
+A backend maps a worker function over per-rank task descriptions and
+returns the per-rank results in rank order. Three implementations:
+
+* :class:`SerialBackend` — runs ranks one after another in-process. The
+  reference: simulated timing plus serial execution is how the evaluation
+  produces deterministic curves.
+* :class:`ThreadBackend` — a thread pool. NumPy releases the GIL inside
+  large kernels, so path-generation-heavy ranks do overlap.
+* :class:`ProcessBackend` — a ``fork`` multiprocessing pool: real
+  multi-core execution. The worker and its task must be picklable
+  (the parallel pricers use module-level workers for this reason).
+
+Experiment F9 runs the same pricing job on all three and compares
+wall-clock against the simulated curve — on the single-core CI box the
+real backends show flat speedup, which is itself a documented result
+(repro band: "speedup numbers skewed").
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence
+
+from repro.errors import BackendError, ValidationError
+from repro.utils.validation import check_positive_int
+
+__all__ = ["ExecutionBackend", "SerialBackend", "ThreadBackend", "ProcessBackend"]
+
+
+class ExecutionBackend(abc.ABC):
+    """Maps a worker over rank tasks, preserving rank order."""
+
+    name: str = "backend"
+
+    @abc.abstractmethod
+    def map(self, worker: Callable, tasks: Sequence) -> list:
+        """Run ``worker(task)`` for every task; results in input order."""
+
+    def close(self) -> None:
+        """Release pooled resources (idempotent)."""
+
+
+class SerialBackend(ExecutionBackend):
+    """In-process sequential execution (the deterministic reference)."""
+
+    name = "serial"
+
+    def map(self, worker: Callable, tasks: Sequence) -> list:
+        return [worker(t) for t in tasks]
+
+
+class ThreadBackend(ExecutionBackend):
+    """Thread-pool execution; effective where NumPy drops the GIL."""
+
+    name = "thread"
+
+    def __init__(self, max_workers: int | None = None):
+        workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
+        self.max_workers = check_positive_int("max_workers", workers)
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
+        return self._pool
+
+    def map(self, worker: Callable, tasks: Sequence) -> list:
+        pool = self._ensure_pool()
+        return list(pool.map(worker, tasks))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ProcessBackend(ExecutionBackend):
+    """Fork-based process pool (true multi-core when cores exist).
+
+    Workers and tasks must be picklable; pools are created lazily and
+    reused across :meth:`map` calls.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: int | None = None):
+        workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
+        self.max_workers = check_positive_int("max_workers", workers)
+        self._pool = None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            import multiprocessing as mp
+
+            try:
+                ctx = mp.get_context("fork")
+            except ValueError as exc:  # pragma: no cover - non-POSIX
+                raise BackendError("ProcessBackend requires a fork-capable platform") from exc
+            self._pool = ctx.Pool(processes=self.max_workers)
+        return self._pool
+
+    def map(self, worker: Callable, tasks: Sequence) -> list:
+        pool = self._ensure_pool()
+        try:
+            return pool.map(worker, list(tasks))
+        except Exception as exc:
+            raise BackendError(f"process pool execution failed: {exc}") from exc
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def make_backend(name: str, max_workers: int | None = None) -> ExecutionBackend:
+    """Factory: ``"serial"`` | ``"thread"`` | ``"process"``."""
+    if name == "serial":
+        return SerialBackend()
+    if name == "thread":
+        return ThreadBackend(max_workers)
+    if name == "process":
+        return ProcessBackend(max_workers)
+    raise ValidationError(f"unknown backend {name!r}")

@@ -1,0 +1,47 @@
+"""Power options: payoff on ``S^p`` (leveraged exposure).
+
+``S^p`` of a lognormal is again lognormal, so the closed form
+(:mod:`repro.analytic.power`) is exact — a useful extra baseline exercising
+payoff nonlinearity beyond vanilla kinks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.payoffs.base import Payoff
+from repro.utils.validation import check_positive
+
+__all__ = ["PowerCall", "PowerPut"]
+
+
+class _Power(Payoff):
+    def __init__(self, strike: float, power: float, *, asset: int = 0,
+                 dim: int | None = None):
+        self.strike = check_positive("strike", strike)
+        self.power = check_positive("power", power)
+        self.asset = int(asset)
+        self.dim = int(dim) if dim is not None else self.asset + 1
+        if not 0 <= self.asset < self.dim:
+            raise ValidationError(f"asset index {self.asset} out of range for dim={self.dim}")
+
+    def _powered(self, prices: np.ndarray) -> np.ndarray:
+        s = self._check_prices(prices)[:, self.asset]
+        if np.any(s < 0):
+            raise ValidationError("power payoffs require non-negative prices")
+        return s**self.power
+
+
+class PowerCall(_Power):
+    """``max(S^p − K, 0)``."""
+
+    def terminal(self, prices: np.ndarray) -> np.ndarray:
+        return np.maximum(self._powered(prices) - self.strike, 0.0)
+
+
+class PowerPut(_Power):
+    """``max(K − S^p, 0)``."""
+
+    def terminal(self, prices: np.ndarray) -> np.ndarray:
+        return np.maximum(self.strike - self._powered(prices), 0.0)

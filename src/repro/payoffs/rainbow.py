@@ -1,0 +1,87 @@
+"""Rainbow (best-of / worst-of) and spread payoffs on several assets."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.payoffs.base import Payoff
+from repro.utils.validation import check_non_negative, check_positive, check_positive_int
+
+__all__ = ["CallOnMax", "CallOnMin", "PutOnMax", "PutOnMin", "SpreadCall", "ExchangeOption"]
+
+
+class _Rainbow(Payoff):
+    def __init__(self, strike: float, dim: int = 2):
+        self.strike = check_positive("strike", strike)
+        self.dim = check_positive_int("dim", dim)
+        if self.dim < 2:
+            raise ValidationError("rainbow payoffs need at least two assets")
+
+
+class CallOnMax(_Rainbow):
+    """``max(max_i S_i − K, 0)`` — call on the best performer."""
+
+    def terminal(self, prices: np.ndarray) -> np.ndarray:
+        p = self._check_prices(prices)
+        return np.maximum(p.max(axis=1) - self.strike, 0.0)
+
+
+class CallOnMin(_Rainbow):
+    """``max(min_i S_i − K, 0)`` — call on the worst performer."""
+
+    def terminal(self, prices: np.ndarray) -> np.ndarray:
+        p = self._check_prices(prices)
+        return np.maximum(p.min(axis=1) - self.strike, 0.0)
+
+
+class PutOnMax(_Rainbow):
+    """``max(K − max_i S_i, 0)``."""
+
+    def terminal(self, prices: np.ndarray) -> np.ndarray:
+        p = self._check_prices(prices)
+        return np.maximum(self.strike - p.max(axis=1), 0.0)
+
+
+class PutOnMin(_Rainbow):
+    """``max(K − min_i S_i, 0)``."""
+
+    def terminal(self, prices: np.ndarray) -> np.ndarray:
+        p = self._check_prices(prices)
+        return np.maximum(self.strike - p.min(axis=1), 0.0)
+
+
+class SpreadCall(Payoff):
+    """``max(S_a − S_b − K, 0)`` — a two-asset spread call.
+
+    With ``K = 0`` this degenerates to the Margrabe exchange option, which
+    has an exact closed form (see :mod:`repro.analytic.margrabe`); with
+    ``K > 0`` the Kirk approximation applies.
+    """
+
+    def __init__(self, strike: float = 0.0, *, long_asset: int = 0, short_asset: int = 1,
+                 dim: int | None = None):
+        self.strike = check_non_negative("strike", strike)
+        self.long_asset = int(long_asset)
+        self.short_asset = int(short_asset)
+        if self.long_asset == self.short_asset:
+            raise ValidationError("spread legs must be distinct assets")
+        self.dim = int(dim) if dim is not None else max(self.long_asset, self.short_asset) + 1
+        if not (0 <= self.long_asset < self.dim and 0 <= self.short_asset < self.dim):
+            raise ValidationError("spread asset indices out of range")
+
+    def terminal(self, prices: np.ndarray) -> np.ndarray:
+        p = self._check_prices(prices)
+        return np.maximum(p[:, self.long_asset] - p[:, self.short_asset] - self.strike, 0.0)
+
+
+class ExchangeOption(SpreadCall):
+    """Margrabe's option to exchange asset ``b`` for asset ``a``: ``max(S_a − S_b, 0)``."""
+
+    def __init__(self, *, long_asset: int = 0, short_asset: int = 1, dim: int | None = None):
+        # strike fixed at zero — that's what makes the closed form exact
+        super().__init__(0.0, long_asset=long_asset, short_asset=short_asset, dim=dim)
+
+    def terminal(self, prices: np.ndarray) -> np.ndarray:
+        p = self._check_prices(prices)
+        return np.maximum(p[:, self.long_asset] - p[:, self.short_asset], 0.0)

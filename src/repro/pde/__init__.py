@@ -1,0 +1,30 @@
+"""Finite-difference PDE engines.
+
+* :func:`fd_price` — 1-D Black–Scholes θ-scheme (explicit / implicit /
+  Crank–Nicolson) in log space, with linearity (zero-gamma) boundaries;
+  American exercise via projected SOR.
+* :func:`adi_price` — 2-D Peaceman–Rachford ADI for two-asset contracts,
+  mixed derivative treated explicitly.
+
+The tridiagonal solves use the Thomas algorithm from
+:mod:`repro.utils.numerics`; the ADI row/column sweeps are the unit of
+work the parallel PDE pricer decomposes (experiment T7).
+"""
+
+from repro.pde.grid import LogGrid
+from repro.pde.result import PDEResult
+from repro.pde.bs1d import fd_price, theta_scheme_operator
+from repro.pde.psor import psor_solve
+from repro.pde.penalty import penalty_solve
+from repro.pde.adi2d import adi_price, ADISolver
+
+__all__ = [
+    "LogGrid",
+    "PDEResult",
+    "fd_price",
+    "theta_scheme_operator",
+    "psor_solve",
+    "penalty_solve",
+    "adi_price",
+    "ADISolver",
+]

@@ -1,0 +1,81 @@
+"""Projected SOR for the American-exercise linear complementarity problem.
+
+Solves ``A x = b`` subject to ``x ≥ ψ`` (with complementarity) for a
+tridiagonal ``A``, by red–black over-relaxation: even-indexed nodes update
+vectorized from the current odd values and vice versa, with projection onto
+the obstacle after every half-sweep. Red–black ordering keeps the sweep in
+NumPy (no per-node Python loop) at the cost of a slightly different — but
+still convergent — iteration than lexicographic SOR.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConvergenceError, ValidationError
+
+__all__ = ["psor_solve"]
+
+
+def psor_solve(
+    lower: np.ndarray,
+    diag: np.ndarray,
+    upper: np.ndarray,
+    rhs: np.ndarray,
+    obstacle: np.ndarray,
+    *,
+    x0: np.ndarray | None = None,
+    omega: float = 1.5,
+    tol: float = 1e-9,
+    max_iter: int = 10_000,
+) -> np.ndarray:
+    """Solve the tridiagonal LCP ``A x = b``, ``x ≥ ψ``.
+
+    Parameters
+    ----------
+    lower, diag, upper : bands of A (``lower[0]``/``upper[-1]`` unused).
+    rhs : right-hand side b.
+    obstacle : early-exercise value ψ.
+    x0 : warm start (defaults to ``max(rhs, ψ)``).
+    omega : relaxation parameter in (0, 2).
+    tol : ∞-norm update tolerance.
+    """
+    if not 0.0 < omega < 2.0:
+        raise ValidationError(f"omega must lie in (0, 2), got {omega}")
+    a = np.asarray(lower, dtype=float)
+    b = np.asarray(diag, dtype=float)
+    c = np.asarray(upper, dtype=float)
+    d = np.asarray(rhs, dtype=float)
+    psi = np.asarray(obstacle, dtype=float)
+    n = b.shape[0]
+    if any(arr.shape[0] != n for arr in (a, c, d, psi)):
+        raise ValidationError("all PSOR inputs must share their first dimension")
+    if np.any(b == 0.0):
+        raise ValidationError("PSOR requires a nonzero diagonal")
+
+    x = np.maximum(d, psi) if x0 is None else np.maximum(np.asarray(x0, float).copy(), psi)
+
+    even = np.arange(0, n, 2)
+    odd = np.arange(1, n, 2)
+
+    def _half_sweep(idx: np.ndarray) -> None:
+        # Gauss–Seidel residual using the *latest* neighbor values.
+        neighbor = np.zeros(idx.size)
+        has_left = idx > 0
+        neighbor[has_left] += a[idx[has_left]] * x[idx[has_left] - 1]
+        has_right = idx < n - 1
+        neighbor[has_right] += c[idx[has_right]] * x[idx[has_right] + 1]
+        gs = (d[idx] - neighbor) / b[idx]
+        x[idx] = np.maximum((1.0 - omega) * x[idx] + omega * gs, psi[idx])
+
+    for _ in range(max_iter):
+        prev = x.copy()
+        _half_sweep(even)
+        _half_sweep(odd)
+        if float(np.max(np.abs(x - prev))) < tol:
+            return x
+    raise ConvergenceError(
+        f"PSOR failed to reach tol={tol} in {max_iter} iterations",
+        iterations=max_iter,
+        residual=float(np.max(np.abs(x - prev))),
+    )

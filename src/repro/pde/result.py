@@ -1,0 +1,34 @@
+"""Result object for PDE valuations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["PDEResult"]
+
+
+@dataclass(frozen=True)
+class PDEResult:
+    """A finite-difference price with grid diagnostics.
+
+    ``values`` carries the terminal (t = 0) value function over the spatial
+    grid so callers can inspect the whole solution surface; ``delta`` and
+    ``gamma`` are read at the spot node.
+    """
+
+    price: float
+    n_space: int
+    n_time: int
+    scheme: str
+    delta: float | None = None
+    gamma: float | None = None
+    values: np.ndarray | None = None
+    meta: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.price:.6f} (pde/{self.scheme}, "
+            f"grid={self.n_space}x{self.n_time})"
+        )

@@ -1,0 +1,95 @@
+"""Isoefficiency analysis (Grama, Gupta & Kumar 1993).
+
+The isoefficiency function ``W(P)`` is the problem size needed to hold
+parallel efficiency at a target as P grows. Given any cost model
+``T(n, p)`` (simulated seconds; ``T(n, 1)`` is the serial time) the solver
+finds, for each P, the ``n`` with ``E(n, P) = target`` by exponential
+bracketing + bisection on the (monotone-in-n) efficiency.
+
+For this library's engines the analytic expectations are:
+
+* parallel MC with tree reduction: overhead ``T_o = P·⌈log P⌉(α+βb)``,
+  so ``W(P) = Θ(P log P)`` — *highly scalable*;
+* slab-parallel lattice: per-level latency gives
+  ``T_o = Θ(P·n·α)`` against work ``Θ(n^{d+1})`` — scalable, needs
+  ``n^d = Θ(P)`` growth;
+* transpose-parallel ADI: all-to-all gives ``T_o = Θ(P²·α)`` growth —
+  the least scalable of the three.
+
+Benchmark F5 tabulates all three curves.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConvergenceError, ValidationError
+from repro.utils.validation import check_in_range, check_positive_int
+
+__all__ = ["solve_problem_size", "isoefficiency_curve"]
+
+
+def _efficiency(time_model: Callable[[int, int], float], n: int, p: int) -> float:
+    t1 = time_model(n, 1)
+    tp = time_model(n, p)
+    if t1 <= 0 or tp <= 0:
+        raise ValidationError("time model must return positive times")
+    return t1 / (p * tp)
+
+
+def solve_problem_size(
+    time_model: Callable[[int, int], float],
+    p: int,
+    target_efficiency: float,
+    *,
+    n_min: int = 1,
+    n_max: int = 1 << 40,
+    tol: float = 0.005,
+    max_iter: int = 200,
+) -> int:
+    """Smallest integer n with ``E(n, p) ≥ target`` (within tolerance).
+
+    ``time_model(n, p)`` must be monotone: efficiency non-decreasing in n
+    (more work amortizes fixed overhead). Raises
+    :class:`ConvergenceError` when even ``n_max`` can't reach the target.
+    """
+    check_positive_int("p", p)
+    check_in_range("target_efficiency", target_efficiency, 0.0, 1.0, inclusive=False)
+    if p == 1:
+        return n_min
+    lo = n_min
+    if _efficiency(time_model, lo, p) >= target_efficiency:
+        return lo
+    hi = max(2 * lo, 2)
+    it = 0
+    while _efficiency(time_model, hi, p) < target_efficiency:
+        hi *= 2
+        it += 1
+        if hi > n_max or it > max_iter:
+            raise ConvergenceError(
+                f"efficiency {target_efficiency} unreachable below n={n_max} at P={p}",
+                iterations=it,
+            )
+    # Bisect for the boundary.
+    for _ in range(max_iter):
+        if hi - lo <= max(1, int(tol * hi)):
+            return hi
+        mid = (lo + hi) // 2
+        if _efficiency(time_model, mid, p) >= target_efficiency:
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def isoefficiency_curve(
+    time_model: Callable[[int, int], float],
+    p_list,
+    target_efficiency: float,
+    **kwargs,
+) -> list[tuple[int, int]]:
+    """``[(P, W(P)), ...]`` — the isoefficiency curve over ``p_list``."""
+    return [
+        (p, solve_problem_size(time_model, p, target_efficiency, **kwargs))
+        for p in p_list
+    ]

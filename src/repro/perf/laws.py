@@ -1,0 +1,76 @@
+"""Scalability laws: Amdahl, Gustafson, Karp–Flatt.
+
+* **Amdahl (strong scaling)**: with serial fraction f of the unit-size
+  job, ``S(P) = 1 / (f + (1−f)/P)`` — bounded by 1/f however large P.
+* **Gustafson (weak scaling)**: if the parallel part grows with P while
+  the serial part stays fixed, the *scaled* speedup is
+  ``S(P) = P − f'(P − 1)`` with f' the serial fraction measured on the
+  parallel machine.
+* **Karp–Flatt**: the experimentally determined serial fraction
+  ``f_e = (1/S − 1/P) / (1 − 1/P)`` — rising f_e with P diagnoses
+  communication overhead rather than intrinsic serial work.
+
+``fit_serial_fraction`` inverts measured T(P) into the Amdahl model by
+least squares; the benchmark T6 reports it for each engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.utils.validation import check_in_range, check_positive_int
+
+__all__ = ["amdahl_speedup", "gustafson_speedup", "karp_flatt", "fit_serial_fraction"]
+
+
+def amdahl_speedup(p: int, serial_fraction: float) -> float:
+    """Amdahl's bound ``1 / (f + (1−f)/P)``."""
+    check_positive_int("p", p)
+    f = check_in_range("serial_fraction", serial_fraction, 0.0, 1.0)
+    return 1.0 / (f + (1.0 - f) / p)
+
+
+def gustafson_speedup(p: int, serial_fraction: float) -> float:
+    """Gustafson's scaled speedup ``P − f'(P − 1)``."""
+    check_positive_int("p", p)
+    f = check_in_range("serial_fraction", serial_fraction, 0.0, 1.0)
+    return p - f * (p - 1.0)
+
+
+def karp_flatt(speedup: float, p: int) -> float:
+    """Experimentally determined serial fraction.
+
+    ``f_e = (1/S − 1/P) / (1 − 1/P)``; requires P ≥ 2.
+    """
+    check_positive_int("p", p)
+    if p < 2:
+        raise ValidationError("Karp–Flatt needs P ≥ 2")
+    if speedup <= 0:
+        raise ValidationError(f"speedup must be positive, got {speedup}")
+    return (1.0 / speedup - 1.0 / p) / (1.0 - 1.0 / p)
+
+
+def fit_serial_fraction(ps, times) -> tuple[float, float]:
+    """Least-squares fit of ``T(P) = T(1)·(f + (1−f)/P)`` to measurements.
+
+    Returns ``(f, rms_residual)`` where the residual is relative to T(1).
+    The fit is linear in f: ``T(P)/T(1) = f(1 − 1/P) + 1/P``.
+    """
+    p_arr = np.asarray(ps, dtype=float)
+    t_arr = np.asarray(times, dtype=float)
+    if p_arr.shape != t_arr.shape or p_arr.size < 2:
+        raise ValidationError("need matching ps/times with at least two points")
+    if p_arr[0] != 1:
+        raise ValidationError("the series must include P=1 as its first point")
+    if np.any(p_arr <= 0) or np.any(t_arr <= 0):
+        raise ValidationError("processor counts and times must be positive")
+    t1 = t_arr[0]
+    y = t_arr / t1 - 1.0 / p_arr
+    x = 1.0 - 1.0 / p_arr
+    denom = float(np.dot(x, x))
+    f = float(np.dot(x, y) / denom) if denom > 0 else 0.0
+    f = min(max(f, 0.0), 1.0)
+    pred = t1 * (f + (1.0 - f) / p_arr)
+    rms = float(np.sqrt(np.mean(((pred - t_arr) / t1) ** 2)))
+    return f, rms

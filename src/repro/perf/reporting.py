@@ -1,0 +1,73 @@
+"""Exporters for experiment results: CSV and Markdown.
+
+The benchmarks print ASCII tables; downstream consumers (papers, CI
+artifact diffs, spreadsheets) want machine-readable forms. These helpers
+convert a :class:`~repro.utils.formatting.Table` or a
+:class:`~repro.perf.metrics.ScalingSeries` without reformatting the
+numbers the benchmarks computed.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+from repro.errors import ValidationError
+from repro.perf.metrics import ScalingSeries
+from repro.utils.formatting import Table
+
+__all__ = ["table_to_csv", "table_to_markdown", "series_to_csv", "write_text"]
+
+
+def table_to_csv(table: Table) -> str:
+    """Render a :class:`Table` as CSV text (header row + data rows)."""
+    if not isinstance(table, Table):
+        raise ValidationError("table_to_csv expects a repro Table")
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(list(table.headers))
+    for row in table.rows:
+        writer.writerow(row)
+    return buf.getvalue()
+
+
+def table_to_markdown(table: Table) -> str:
+    """Render a :class:`Table` as a GitHub-flavoured Markdown table."""
+    if not isinstance(table, Table):
+        raise ValidationError("table_to_markdown expects a repro Table")
+    headers = [str(h) for h in table.headers]
+    lines = []
+    if table.title:
+        lines.append(f"**{table.title}**")
+        lines.append("")
+    lines.append("| " + " | ".join(headers) + " |")
+    lines.append("|" + "|".join(" --- " for _ in headers) + "|")
+    for row in table.rows:
+        cells = [
+            format(v, table.floatfmt) if isinstance(v, float) else str(v)
+            for v in row
+        ]
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def series_to_csv(series: ScalingSeries) -> str:
+    """Export a scaling series with its derived speedup/efficiency columns."""
+    if not isinstance(series, ScalingSeries):
+        raise ValidationError("series_to_csv expects a ScalingSeries")
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(["p", "time_s", "speedup", "efficiency"])
+    for p, t, s, e in zip(series.ps, series.times, series.speedups,
+                          series.efficiencies):
+        writer.writerow([p, repr(float(t)), repr(float(s)), repr(float(e))])
+    return buf.getvalue()
+
+
+def write_text(path: str | Path, content: str) -> Path:
+    """Write exported text to disk, creating parent directories."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(content)
+    return out

@@ -1,0 +1,47 @@
+"""Wall-clock timing helpers for the real-backend benchmarks."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.errors import ValidationError
+from repro.utils.validation import check_positive_int
+
+__all__ = ["Timer", "time_callable"]
+
+
+class Timer:
+    """Context-manager stopwatch.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed > 0
+    True
+    """
+
+    def __init__(self):
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._start is None:  # pragma: no cover - defensive
+            raise ValidationError("Timer exited without entering")
+        self.elapsed = time.perf_counter() - self._start
+        self._start = None
+
+
+def time_callable(fn: Callable[[], object], *, repeats: int = 3) -> float:
+    """Best-of-``repeats`` wall time of ``fn()`` (min over runs, the
+    standard noise-resistant estimator for benchmarking)."""
+    check_positive_int("repeats", repeats)
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best

@@ -1,0 +1,135 @@
+"""Halton low-discrepancy sequences — the second QMC family.
+
+The Halton sequence uses the radical-inverse function in a distinct prime
+base per dimension. Unscrambled Halton degrades badly in high dimensions
+(strong correlation between large-prime coordinates), so a deterministic
+**permuted** variant is provided as well, using per-base digit scrambles
+derived from the library's own Philox generator. Benchmark T8 compares
+plain MC / Halton / scrambled Halton / Sobol on the same integrand.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.utils.validation import check_positive_int
+
+__all__ = ["HaltonSequence", "first_primes", "radical_inverse", "HALTON_MAX_DIM"]
+
+#: Enough primes for 32 dimensions.
+_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53,
+    59, 61, 67, 71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131,
+)
+
+HALTON_MAX_DIM = len(_PRIMES)
+
+
+def first_primes(k: int) -> tuple[int, ...]:
+    """The first ``k`` primes (k ≤ 32)."""
+    if not 1 <= k <= HALTON_MAX_DIM:
+        raise ValidationError(f"k must lie in [1, {HALTON_MAX_DIM}], got {k}")
+    return _PRIMES[:k]
+
+
+def radical_inverse(indices: np.ndarray, base: int,
+                    permutation: np.ndarray | None = None) -> np.ndarray:
+    """Vectorized radical inverse Φ_b(i): digit-reverse ``i`` in base ``b``.
+
+    With ``permutation`` (a permutation of ``0..b−1`` fixing 0 is *not*
+    required; the classic Faure/Owen scrambles permute all digits), each
+    digit is remapped before reflection — the standard scrambled-Halton
+    construction.
+    """
+    if base < 2:
+        raise ValidationError(f"base must be ≥ 2, got {base}")
+    idx = np.asarray(indices, dtype=np.int64).copy()
+    if np.any(idx < 0):
+        raise ValidationError("indices must be non-negative")
+    out = np.zeros(idx.shape, dtype=float)
+    factor = 1.0 / base
+    if permutation is not None:
+        perm = np.asarray(permutation, dtype=np.int64)
+        if sorted(perm.tolist()) != list(range(base)):
+            raise ValidationError("permutation must permute 0..base-1")
+    while np.any(idx > 0):
+        digits = idx % base
+        if permutation is not None:
+            digits = perm[digits]
+        out += digits * factor
+        idx //= base
+        factor /= base
+    return out
+
+
+class HaltonSequence:
+    """A ``dim``-dimensional (optionally scrambled) Halton sequence.
+
+    Parameters
+    ----------
+    dim : 1 ≤ dim ≤ 32 (prime bases 2, 3, 5, ...).
+    scramble : apply deterministic per-base digit permutations (recommended
+        for dim ≳ 6).
+    seed : seeds the scrambling permutations.
+    skip : index of the first point returned (index 0 is the origin, so a
+        positive skip — conventionally 1 or the first prime power — avoids
+        the degenerate corner, mirroring :class:`SobolSequence`).
+    """
+
+    def __init__(self, dim: int, *, scramble: bool = False, seed: int = 0,
+                 skip: int = 0):
+        self.dim = check_positive_int("dim", dim)
+        if self.dim > HALTON_MAX_DIM:
+            raise ValidationError(
+                f"Halton dimension must be ≤ {HALTON_MAX_DIM}, got {dim}"
+            )
+        if skip < 0:
+            raise ValidationError(f"skip must be non-negative, got {skip}")
+        self.bases = first_primes(self.dim)
+        self._index = int(skip)
+        self._perms: list[np.ndarray | None]
+        if scramble:
+            from repro.rng import Philox4x32
+
+            gen = Philox4x32(seed, stream=0x4A17)
+            perms = []
+            for b in self.bases:
+                # Fisher–Yates with library randomness, but keep 0 → 0 so
+                # the point at index 0 stays at the origin (Faure-style
+                # scrambles fixing zero preserve the net structure cleanly).
+                perm = np.arange(b, dtype=np.int64)
+                for i in range(b - 1, 1, -1):
+                    j = 1 + int(gen.integers(1, i)[0])
+                    perm[i], perm[j] = perm[j], perm[i]
+                perms.append(perm)
+            self._perms = perms
+        else:
+            self._perms = [None] * self.dim
+
+    def next(self, n: int) -> np.ndarray:
+        """Return the next ``n`` points, shape ``(n, dim)``, in ``[0, 1)``.
+
+        A half-cell offset in the smallest base keeps coordinates strictly
+        positive (as with Sobol), so Φ⁻¹ transforms never see 0.
+        """
+        if n < 0:
+            raise ValidationError(f"n must be non-negative, got {n}")
+        idx = self._index + np.arange(n, dtype=np.int64)
+        out = np.empty((n, self.dim), dtype=float)
+        for j, base in enumerate(self.bases):
+            out[:, j] = radical_inverse(idx, base, self._perms[j])
+        self._index += n
+        # Nudge exact zeros (only the origin point) off the boundary.
+        np.maximum(out, 1e-12, out=out)
+        return out
+
+    def skip(self, n: int) -> None:
+        """Advance the sequence position by ``n`` points (O(1))."""
+        if n < 0:
+            raise ValidationError(f"skip distance must be non-negative, got {n}")
+        self._index += n
+
+    @property
+    def position(self) -> int:
+        return self._index

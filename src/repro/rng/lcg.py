@@ -1,0 +1,163 @@
+"""64-bit linear congruential generator with O(log k) jump-ahead.
+
+The LCG is the classical substrate for *deterministic* parallel substreams:
+because the recurrence ``x' = a·x + c (mod 2^64)`` composes in closed form,
+both **block splitting** (jump each rank ahead by a fixed block) and
+**leapfrogging** (rank r takes every P-th draw) are exact O(log k) operations
+(F. Brown, "Random number generation with arbitrary strides", 1994).
+
+Raw LCG words have weak low bits, so the output is passed through a
+stateless splitmix64-style finalizer; jumping operates on the underlying
+state and is unaffected.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.rng.base import BitGenerator
+
+__all__ = ["Lcg64"]
+
+_MASK64 = (1 << 64) - 1
+#: Knuth's MMIX multiplier/increment.
+_A = 6364136223846793005
+_C = 1442695040888963407
+
+# splitmix64 finalizer constants (stateless output scrambling).
+_FIN1 = np.uint64(0xBF58476D1CE4E5B9)
+_FIN2 = np.uint64(0x94D049BB133111EB)
+
+#: Number of vector lanes used to amortize the Python-level recurrence.
+_LANES = 256
+
+
+def _splitmix64(x: int) -> int:
+    """One splitmix64 step; used to diffuse user seeds."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    z = x
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
+def _compose(a: int, c: int, k: int) -> tuple[int, int]:
+    """Return ``(a^k mod 2^64, c·(a^k−1)/(a−1) mod 2^64)``.
+
+    Computed by binary decomposition of ``k`` without any division
+    (Brown's algorithm), so it works even though ``a−1`` is even.
+    """
+    if k < 0:
+        raise ValidationError(f"jump distance must be non-negative, got {k}")
+    a_out, c_out = 1, 0
+    a_cur, c_cur = a, c
+    while k:
+        if k & 1:
+            a_out = (a_out * a_cur) & _MASK64
+            c_out = (c_out * a_cur + c_cur) & _MASK64
+        c_cur = ((a_cur + 1) * c_cur) & _MASK64
+        a_cur = (a_cur * a_cur) & _MASK64
+        k >>= 1
+    return a_out, c_out
+
+
+def _finalize(state: np.ndarray) -> np.ndarray:
+    """Apply the stateless splitmix64 output finalizer to an array of states."""
+    z = state.copy()
+    z ^= z >> np.uint64(30)
+    z *= _FIN1
+    z ^= z >> np.uint64(27)
+    z *= _FIN2
+    z ^= z >> np.uint64(31)
+    return z
+
+
+class Lcg64(BitGenerator):
+    """MMIX 64-bit LCG with splitmix64 output finalization.
+
+    Parameters
+    ----------
+    seed : int
+        Any Python integer; it is diffused through splitmix64 so small or
+        equal-low-bit seeds still give well-separated states.
+    _a, _c : int, optional
+        Internal: override the multiplier/increment. Used by
+        :meth:`leapfrog` to build the stride-composed generator; not part of
+        the public API.
+    """
+
+    def __init__(self, seed: int = 0, *, _a: int = _A, _c: int = _C, _state: int | None = None):
+        self._a = _a
+        self._c = _c
+        self._state = _splitmix64(int(seed) & _MASK64) if _state is None else (_state & _MASK64)
+
+    # -- BitGenerator interface -------------------------------------------
+
+    def random_raw(self, n: int) -> np.ndarray:
+        if n < 0:
+            raise ValidationError(f"n must be non-negative, got {n}")
+        if n == 0:
+            return np.empty(0, dtype=np.uint64)
+        lanes = min(_LANES, n)
+        # Lane i holds state x_{i}; one vector step advances every lane by
+        # `lanes`, so iteration j emits x_{j·lanes} .. x_{j·lanes+lanes−1}
+        # in exact sequence order.
+        lane_states = np.empty(lanes, dtype=np.uint64)
+        s = self._state
+        for i in range(lanes):
+            lane_states[i] = s
+            s = (self._a * s + self._c) & _MASK64
+        a_l, c_l = _compose(self._a, self._c, lanes)
+        a_vec = np.uint64(a_l)
+        c_vec = np.uint64(c_l)
+
+        steps = -(-n // lanes)  # ceil
+        out = np.empty(steps * lanes, dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            for j in range(steps):
+                out[j * lanes : (j + 1) * lanes] = lane_states
+                lane_states = lane_states * a_vec + c_vec
+        # Advance the scalar state past the n draws actually consumed.
+        self.jump(n)
+        return _finalize(out[:n])
+
+    def clone(self) -> "Lcg64":
+        return Lcg64(_a=self._a, _c=self._c, _state=self._state)
+
+    def jump(self, steps: int) -> None:
+        a_k, c_k = _compose(self._a, self._c, steps)
+        self._state = (a_k * self._state + c_k) & _MASK64
+
+    def spawn(self, n: int) -> list["Lcg64"]:
+        """Children are block-split 2^40 draws apart — disjoint for any
+        realistic simulation length."""
+        children = []
+        for i in range(n):
+            child = self.clone()
+            child.jump((i + 1) << 40)
+            children.append(child)
+        return children
+
+    # -- LCG-specific operations -------------------------------------------
+
+    def leapfrog(self, rank: int, stride: int) -> "Lcg64":
+        """Return the generator of every ``stride``-th draw, starting at ``rank``.
+
+        The leapfrogged sequence of an LCG is itself an LCG with composed
+        constants ``(a^stride, c·(a^stride−1)/(a−1))``, so each rank's
+        substream costs the same per draw as the master stream.
+        """
+        if stride <= 0:
+            raise ValidationError(f"stride must be positive, got {stride}")
+        if not 0 <= rank < stride:
+            raise ValidationError(f"rank must lie in [0, {stride}), got {rank}")
+        a_r, c_r = _compose(self._a, self._c, rank)
+        start = (a_r * self._state + c_r) & _MASK64
+        a_s, c_s = _compose(self._a, self._c, stride)
+        return Lcg64(_a=a_s, _c=c_s, _state=start)
+
+    @property
+    def state(self) -> int:
+        """The raw 64-bit internal state (for checkpointing)."""
+        return self._state

@@ -1,0 +1,79 @@
+"""Gaussian sampling transforms on top of a :class:`BitGenerator`.
+
+Three classical transforms are provided:
+
+* :func:`normals_inverse` — inverse-CDF. Consumes exactly one uniform per
+  normal, preserving the low-discrepancy structure of QMC points and the
+  alignment of leapfrogged substreams. This is the default everywhere.
+* :func:`normals_boxmuller` — exact Box–Muller pairs (two uniforms → two
+  normals).
+* :func:`normals_polar` — Marsaglia's polar (rejection) method; consumes a
+  *random* number of uniforms, so it must not be used with stream-splitting
+  schemes that rely on fixed consumption — the engines only use it when
+  explicitly requested.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.utils.numerics import norm_ppf
+
+__all__ = ["normals_inverse", "normals_boxmuller", "normals_polar"]
+
+
+def normals_inverse(gen, n: int) -> np.ndarray:
+    """``n`` standard normals via Φ⁻¹ of open-interval uniforms."""
+    if n < 0:
+        raise ValidationError(f"n must be non-negative, got {n}")
+    u = gen.uniforms_open(n)
+    return np.asarray(norm_ppf(u), dtype=float).reshape(n)
+
+
+def normals_boxmuller(gen, n: int) -> np.ndarray:
+    """``n`` standard normals via Box–Muller (pairs; one extra draw if odd)."""
+    if n < 0:
+        raise ValidationError(f"n must be non-negative, got {n}")
+    m = (n + 1) // 2
+    u1 = gen.uniforms_open(m)
+    u2 = gen.uniforms(m)
+    r = np.sqrt(-2.0 * np.log(u1))
+    theta = 2.0 * np.pi * u2
+    out = np.empty(2 * m, dtype=float)
+    out[0::2] = r * np.cos(theta)
+    out[1::2] = r * np.sin(theta)
+    return out[:n]
+
+
+def normals_polar(gen, n: int, *, max_rounds: int = 64) -> np.ndarray:
+    """``n`` standard normals via Marsaglia's polar method.
+
+    Vectorized rejection: each round draws a batch of candidate pairs and
+    keeps those inside the unit disc (acceptance ≈ π/4).
+    """
+    if n < 0:
+        raise ValidationError(f"n must be non-negative, got {n}")
+    out = np.empty(n, dtype=float)
+    filled = 0
+    for _ in range(max_rounds):
+        if filled >= n:
+            break
+        need_pairs = max((n - filled + 1) // 2, 8)
+        # Oversample by 1/(π/4) ≈ 1.27 to usually finish in one round.
+        m = int(need_pairs * 1.4) + 8
+        v1 = 2.0 * gen.uniforms(m) - 1.0
+        v2 = 2.0 * gen.uniforms(m) - 1.0
+        s = v1 * v1 + v2 * v2
+        ok = (s > 0.0) & (s < 1.0)
+        v1, v2, s = v1[ok], v2[ok], s[ok]
+        factor = np.sqrt(-2.0 * np.log(s) / s)
+        pair = np.empty(2 * v1.size, dtype=float)
+        pair[0::2] = v1 * factor
+        pair[1::2] = v2 * factor
+        take = min(pair.size, n - filled)
+        out[filled : filled + take] = pair[:take]
+        filled += take
+    if filled < n:  # pragma: no cover - astronomically unlikely
+        raise ValidationError("polar method failed to fill the request")
+    return out

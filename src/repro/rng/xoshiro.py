@@ -1,0 +1,143 @@
+"""xoshiro256** — a modern 256-bit-state generator (Blackman & Vigna 2018).
+
+Provided as the high-statistical-quality alternative to the LCG. The
+implementation is lane-parallel: ``K`` independent lanes are placed 2^128
+apart with the published jump polynomial and the output stream interleaves
+them round-robin. This keeps bulk generation in NumPy (no per-draw Python
+loop) while every lane retains xoshiro's full period guarantees. The
+interleaved stream is deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.rng.base import BitGenerator
+from repro.rng.lcg import _splitmix64, _MASK64
+
+__all__ = ["Xoshiro256StarStar"]
+
+#: Published jump polynomial for a 2^128 jump.
+_JUMP = (0x180EC6D33CFD0ABA, 0xD5A61266F0C9392C, 0xA9582618E03FC9AA, 0x39ABDC4529B1661C)
+
+_LANES = 64
+
+_U5 = np.uint64(5)
+_U7 = np.uint64(7)
+_U9 = np.uint64(9)
+_U17 = np.uint64(17)
+_U45 = np.uint64(45)
+_U57 = np.uint64(57)
+_U19 = np.uint64(19)
+
+
+def _rotl(x: np.ndarray, k: np.uint64) -> np.ndarray:
+    return (x << k) | (x >> (np.uint64(64) - k))
+
+
+def _rotl_int(x: int, k: int) -> int:
+    return ((x << k) | (x >> (64 - k))) & _MASK64
+
+
+def _next_scalar(s: list[int]) -> int:
+    """One scalar xoshiro256** step (used only for seeding/jumping lanes)."""
+    result = (_rotl_int((s[1] * 5) & _MASK64, 7) * 9) & _MASK64
+    t = (s[1] << 17) & _MASK64
+    s[2] ^= s[0]
+    s[3] ^= s[1]
+    s[1] ^= s[2]
+    s[0] ^= s[3]
+    s[2] ^= t
+    s[3] = _rotl_int(s[3], 45)
+    return result
+
+
+def _jump_scalar(s: list[int]) -> None:
+    """Advance a scalar state by 2^128 steps using the jump polynomial."""
+    s0 = s1 = s2 = s3 = 0
+    for word in _JUMP:
+        for b in range(64):
+            if (word >> b) & 1:
+                s0 ^= s[0]
+                s1 ^= s[1]
+                s2 ^= s[2]
+                s3 ^= s[3]
+            _next_scalar(s)
+    s[0], s[1], s[2], s[3] = s0, s1, s2, s3
+
+
+class Xoshiro256StarStar(BitGenerator):
+    """Lane-parallel xoshiro256**.
+
+    Parameters
+    ----------
+    seed : int
+        Diffused through splitmix64 to initialize lane 0; lanes 1..K−1 are
+        2^128, 2·2^128, ... steps ahead, so lanes never overlap.
+    """
+
+    def __init__(self, seed: int = 0, *, _lanes: np.ndarray | None = None,
+                 _buffer: np.ndarray | None = None):
+        if _lanes is not None:
+            self._s = _lanes.copy()
+            self._buffer = (
+                np.empty(0, dtype=np.uint64) if _buffer is None else _buffer.copy()
+            )
+            return
+        x = int(seed) & _MASK64
+        state = []
+        for _ in range(4):
+            x = _splitmix64(x)
+            state.append(x)
+        lanes = np.empty((4, _LANES), dtype=np.uint64)
+        cur = list(state)
+        for lane in range(_LANES):
+            for j in range(4):
+                lanes[j, lane] = cur[j]
+            _jump_scalar(cur)
+        self._s = lanes
+        # Generated-but-undelivered words: lane steps produce _LANES draws at
+        # a time, so the tail of a partial request is buffered to keep the
+        # output stream contiguous across calls.
+        self._buffer = np.empty(0, dtype=np.uint64)
+
+    def random_raw(self, n: int) -> np.ndarray:
+        if n < 0:
+            raise ValidationError(f"n must be non-negative, got {n}")
+        if n == 0:
+            return np.empty(0, dtype=np.uint64)
+        if self._buffer.size >= n:
+            out, self._buffer = self._buffer[:n].copy(), self._buffer[n:]
+            return out
+        need = n - self._buffer.size
+        s0, s1, s2, s3 = self._s[0], self._s[1], self._s[2], self._s[3]
+        lanes = s0.shape[0]
+        steps = -(-need // lanes)
+        fresh = np.empty(steps * lanes, dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            for j in range(steps):
+                fresh[j * lanes : (j + 1) * lanes] = _rotl(s1 * _U5, _U7) * _U9
+                t = s1 << _U17
+                s2 = s2 ^ s0
+                s3 = s3 ^ s1
+                s1 = s1 ^ s2
+                s0 = s0 ^ s3
+                s2 = s2 ^ t
+                s3 = _rotl(s3, _U45)
+        self._s[0], self._s[1], self._s[2], self._s[3] = s0, s1, s2, s3
+        combined = np.concatenate([self._buffer, fresh])
+        out, self._buffer = combined[:n], combined[n:]
+        return out
+
+    def clone(self) -> "Xoshiro256StarStar":
+        return Xoshiro256StarStar(_lanes=self._s, _buffer=self._buffer)
+
+    def spawn(self, n: int) -> list["Xoshiro256StarStar"]:
+        """Children seeded by splitmix64 cascade — independent key-split streams."""
+        base = int(self._s[0, 0])
+        children = []
+        for i in range(n):
+            child_seed = _splitmix64((base + 0x9E3779B97F4A7C15 * (i + 1)) & _MASK64)
+            children.append(Xoshiro256StarStar(child_seed))
+        return children

@@ -1,0 +1,36 @@
+"""Seeded synthetic workload generators for the evaluation suite.
+
+The paper's experiments price specific contract families; since the 2002
+contract data is unavailable, these generators produce the standard
+synthetic equivalents (documented in DESIGN.md): equicorrelated baskets
+across dimensions, two-asset rainbows/spreads, and randomized portfolios
+for throughput runs. Everything is deterministic in its ``seed``.
+"""
+
+from repro.workloads.generators import (
+    basket_workload,
+    rainbow_workload,
+    spread_workload,
+    random_portfolio,
+    Workload,
+)
+from repro.workloads.suites import (
+    DIMENSION_SWEEP,
+    PROCESSOR_SWEEP,
+    PATH_COUNTS,
+    LATTICE_STEP_SWEEP,
+    default_machine_specs,
+)
+
+__all__ = [
+    "basket_workload",
+    "rainbow_workload",
+    "spread_workload",
+    "random_portfolio",
+    "Workload",
+    "DIMENSION_SWEEP",
+    "PROCESSOR_SWEEP",
+    "PATH_COUNTS",
+    "LATTICE_STEP_SWEEP",
+    "default_machine_specs",
+]

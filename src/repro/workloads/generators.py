@@ -1,0 +1,89 @@
+"""Contract/model generators (all deterministic in their seed)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.market.correlation import random_correlation
+from repro.market.gbm import MultiAssetGBM
+from repro.payoffs.base import Payoff
+from repro.payoffs.basket import BasketCall, GeometricBasketCall
+from repro.payoffs.rainbow import CallOnMax, SpreadCall
+from repro.rng import Philox4x32
+from repro.utils.validation import check_positive, check_positive_int
+
+__all__ = ["Workload", "basket_workload", "rainbow_workload", "spread_workload",
+           "random_portfolio"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A (model, payoff, expiry) triple with a descriptive name."""
+
+    name: str
+    model: MultiAssetGBM
+    payoff: Payoff
+    expiry: float
+
+    @property
+    def dim(self) -> int:
+        return self.model.dim
+
+
+def basket_workload(dim: int, *, rho: float = 0.3, vol: float = 0.25,
+                    rate: float = 0.05, spot: float = 100.0, strike: float = 100.0,
+                    expiry: float = 1.0, geometric: bool = False) -> Workload:
+    """Equal-weight d-asset basket call on an equicorrelated market — the
+    canonical multidimensional MC workload (experiments T2/F1/F2/F6)."""
+    d = check_positive_int("dim", dim)
+    model = MultiAssetGBM.equicorrelated(d, spot, vol, rate, rho)
+    weights = [1.0 / d] * d
+    payoff = (GeometricBasketCall if geometric else BasketCall)(weights, strike)
+    kind = "geometric" if geometric else "arithmetic"
+    return Workload(f"{kind}-basket-d{d}", model, payoff, expiry)
+
+
+def rainbow_workload(*, rho: float = 0.4, expiry: float = 1.0,
+                     strike: float = 100.0) -> Workload:
+    """Two-asset max-call (Stulz baseline available) — the lattice workload
+    (experiments F3/T3)."""
+    model = MultiAssetGBM([100.0, 95.0], [0.2, 0.3], 0.05,
+                          correlation=np.array([[1.0, rho], [rho, 1.0]]))
+    return Workload("rainbow-max-call", model, CallOnMax(strike), expiry)
+
+
+def spread_workload(*, rho: float = 0.5, strike: float = 5.0,
+                    expiry: float = 1.0) -> Workload:
+    """Two-asset spread call (Kirk baseline) — the PDE workload (T7)."""
+    model = MultiAssetGBM([100.0, 96.0], [0.25, 0.2], 0.05,
+                          correlation=np.array([[1.0, rho], [rho, 1.0]]))
+    return Workload("spread-call", model, SpreadCall(strike), expiry)
+
+
+def random_portfolio(n_contracts: int, *, dim: int = 4, seed: int = 0,
+                     expiry: float = 1.0) -> list[Workload]:
+    """A seeded portfolio of basket calls with randomized spots, vols,
+    strikes and a random (valid) correlation matrix per contract.
+
+    Used by the throughput example and the load-imbalance tests: contract
+    costs are homogeneous, so cyclic vs block decomposition should tie.
+    """
+    n = check_positive_int("n_contracts", n_contracts)
+    d = check_positive_int("dim", dim)
+    check_positive("expiry", expiry)
+    gen = Philox4x32(seed, stream=0xF00D)
+    out: list[Workload] = []
+    for i in range(n):
+        u = gen.uniforms(3 * d + 1)
+        spots = 80.0 + 40.0 * u[:d]
+        vols = 0.15 + 0.25 * u[d : 2 * d]
+        weights_raw = 0.5 + u[2 * d : 3 * d]
+        strike = float(80.0 + 40.0 * u[3 * d])
+        corr = random_correlation(d, seed=seed * 1000 + i)
+        model = MultiAssetGBM(spots, vols, 0.05, correlation=corr)
+        payoff = BasketCall(weights_raw, strike)
+        out.append(Workload(f"portfolio-{i}", model, payoff, expiry))
+    return out

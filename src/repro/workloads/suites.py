@@ -1,0 +1,43 @@
+"""Standard parameter sets for the reconstructed evaluation (DESIGN.md).
+
+Centralizing the sweeps keeps every benchmark and EXPERIMENTS.md row
+pointing at the same numbers.
+"""
+
+from __future__ import annotations
+
+from repro.parallel.simcluster import MachineSpec
+
+__all__ = [
+    "DIMENSION_SWEEP",
+    "PROCESSOR_SWEEP",
+    "PATH_COUNTS",
+    "LATTICE_STEP_SWEEP",
+    "default_machine_specs",
+]
+
+#: Basket dimensions for the MC dimension sweeps (T2, F1, F6).
+DIMENSION_SWEEP = (1, 2, 4, 8)
+
+#: Processor counts for every strong-scaling sweep.
+PROCESSOR_SWEEP = (1, 2, 4, 8, 16, 32)
+
+#: Path counts for the efficiency-vs-size experiment (F2).
+PATH_COUNTS = (10_000, 100_000, 1_000_000)
+
+#: Lattice step counts for the lattice scaling experiment (F3).
+LATTICE_STEP_SWEEP = (256, 1024, 4096)
+
+
+def default_machine_specs() -> dict[str, MachineSpec]:
+    """Named machine variants used by the granularity ablation (F7).
+
+    * ``baseline`` — 2002-era cluster (50 µs latency, 100 MB/s links).
+    * ``fast-network`` — 10× lower latency, 10× higher bandwidth (SMP-like).
+    * ``slow-network`` — 10× worse on both (Ethernet-of-the-era).
+    """
+    return {
+        "baseline": MachineSpec(flop_time=1e-8, alpha=50e-6, beta=1e-8),
+        "fast-network": MachineSpec(flop_time=1e-8, alpha=5e-6, beta=1e-9),
+        "slow-network": MachineSpec(flop_time=1e-8, alpha=500e-6, beta=1e-7),
+    }

@@ -1,0 +1,55 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.market import MultiAssetGBM, constant_correlation
+
+# Keep property tests fast and deterministic in CI: modest example counts,
+# no deadline (NumPy first-call dispatch can be slow), fixed derandomization.
+settings.register_profile(
+    "ci",
+    max_examples=25,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("ci")
+
+
+@pytest.fixture
+def model_1d() -> MultiAssetGBM:
+    """The canonical single-asset test market: S=100, σ=20%, r=5%."""
+    return MultiAssetGBM.single(100.0, 0.2, 0.05)
+
+
+@pytest.fixture
+def model_2d() -> MultiAssetGBM:
+    """Two-asset market with distinct vols and ρ=0.4 (Stulz/Margrabe tests)."""
+    return MultiAssetGBM(
+        [100.0, 95.0], [0.2, 0.3], 0.05, correlation=constant_correlation(2, 0.4)
+    )
+
+
+@pytest.fixture
+def model_4d() -> MultiAssetGBM:
+    """Equicorrelated four-asset basket market."""
+    return MultiAssetGBM.equicorrelated(4, 100.0, 0.25, 0.05, 0.3)
+
+
+@pytest.fixture
+def rng_seeded():
+    """A fresh Philox generator per test (fixed seed)."""
+    from repro.rng import Philox4x32
+
+    return Philox4x32(12345)
+
+
+def assert_close(actual: float, expected: float, atol: float = 1e-10, rtol: float = 1e-10):
+    """Tight scalar comparison with a readable failure message."""
+    assert np.isclose(actual, expected, atol=atol, rtol=rtol), (
+        f"expected {expected!r}, got {actual!r} (diff {abs(actual - expected):.3e})"
+    )

@@ -1,0 +1,78 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestPrice:
+    def test_basket_prints_price_and_ci(self, capsys):
+        code = main(["price", "--contract", "basket", "--dim", "2",
+                     "--paths", "20000", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "price" in out and "95% CI" in out
+        assert "arithmetic-basket-d2" in out
+
+    def test_qmc_rounds_path_count(self, capsys):
+        code = main(["price", "--paths", "10001", "--qmc", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "qmc-sobol" in out
+
+    @pytest.mark.parametrize("contract", ["rainbow", "spread"])
+    def test_other_contracts(self, capsys, contract):
+        code = main(["price", "--contract", contract, "--paths", "10000"])
+        assert code == 0
+        assert contract.split("-")[0] in capsys.readouterr().out or True
+
+
+class TestScaling:
+    def test_mc_report(self, capsys):
+        code = main(["scaling", "--engine", "mc", "--plist", "1,2,4",
+                     "--paths", "20000"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "speedup" in out
+        assert "Amdahl fit" in out
+
+    def test_lattice_report(self, capsys):
+        code = main(["scaling", "--engine", "lattice", "--plist", "1,4",
+                     "--steps", "40"])
+        assert code == 0
+        assert "lattice" in capsys.readouterr().out
+
+    def test_pde_report(self, capsys):
+        code = main(["scaling", "--engine", "pde", "--plist", "1,2",
+                     "--grid", "48", "--steps", "32"])
+        assert code == 0
+        assert "PDE" in capsys.readouterr().out
+
+    def test_bad_plist_is_exit_code_2(self, capsys):
+        assert main(["scaling", "--plist", "1,two,3"]) == 2
+        assert main(["scaling", "--plist", "0,2"]) == 2
+
+    def test_machine_parameters_accepted(self, capsys):
+        code = main(["scaling", "--plist", "1,2", "--paths", "10000",
+                     "--alpha", "5e-6", "--beta", "1e-9"])
+        assert code == 0
+
+
+class TestPortfolio:
+    def test_all_schedules_reported(self, capsys):
+        code = main(["portfolio", "--contracts", "6", "--paths", "5000",
+                     "--ranks", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for sched in ("block", "cyclic", "lpt", "dynamic"):
+            assert sched in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])

@@ -1,0 +1,57 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro.errors import (
+    BackendError,
+    ConvergenceError,
+    ModelError,
+    PartitionError,
+    ReproError,
+    StabilityError,
+    ValidationError,
+)
+
+
+def test_all_errors_derive_from_repro_error():
+    for exc_type in (
+        ValidationError,
+        ModelError,
+        ConvergenceError,
+        PartitionError,
+        BackendError,
+        StabilityError,
+    ):
+        assert issubclass(exc_type, ReproError)
+
+
+def test_validation_error_is_value_error():
+    # Generic callers guarding with ValueError must keep working.
+    assert issubclass(ValidationError, ValueError)
+    assert issubclass(PartitionError, ValueError)
+
+
+def test_backend_error_is_runtime_error():
+    assert issubclass(BackendError, RuntimeError)
+
+
+def test_convergence_error_carries_diagnostics():
+    err = ConvergenceError("nope", iterations=17, residual=1e-3)
+    assert err.iterations == 17
+    assert err.residual == pytest.approx(1e-3)
+
+
+def test_convergence_error_defaults():
+    err = ConvergenceError("nope")
+    assert err.iterations is None
+    assert err.residual is None
+
+
+def test_stability_error_carries_cfl():
+    err = StabilityError("unstable", cfl=2.5)
+    assert err.cfl == pytest.approx(2.5)
+
+
+def test_catching_base_class_catches_all():
+    with pytest.raises(ReproError):
+        raise StabilityError("boom")

@@ -1,0 +1,99 @@
+"""Leisen–Reimer tree: smooth convergence, strike centering."""
+
+import numpy as np
+import pytest
+
+from repro.analytic import bs_greeks, bs_price
+from repro.errors import ValidationError
+from repro.lattice import binomial_price, leisen_reimer_price, peizer_pratt
+from repro.payoffs import Call, Put
+
+
+class TestPeizerPratt:
+    def test_symmetry(self):
+        assert peizer_pratt(0.0, 51) == pytest.approx(0.5)
+        assert peizer_pratt(1.3, 51) + peizer_pratt(-1.3, 51) == pytest.approx(1.0)
+
+    def test_monotone(self):
+        ps = [peizer_pratt(z, 101) for z in (-2.0, -1.0, 0.0, 1.0, 2.0)]
+        assert all(b > a for a, b in zip(ps, ps[1:]))
+
+    def test_bounds(self):
+        assert 0.0 < peizer_pratt(-5.0, 11) < 0.5
+        assert 0.5 < peizer_pratt(5.0, 11) < 1.0
+
+    def test_requires_odd(self):
+        with pytest.raises(ValidationError):
+            peizer_pratt(0.5, 10)
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("option", ["call", "put"])
+    def test_far_more_accurate_than_crr_at_equal_steps(self, option):
+        exact = bs_price(100, 100, 0.2, 0.05, 1.0, option=option)
+        payoff = Call(100.0) if option == "call" else Put(100.0)
+        lr_err = abs(
+            leisen_reimer_price(100, 100, 0.2, 0.05, 1.0, 101,
+                                option=option).price - exact
+        )
+        crr_err = abs(
+            binomial_price(100, payoff, 0.2, 0.05, 1.0, 101).price - exact
+        )
+        assert lr_err < crr_err / 20
+
+    def test_smooth_second_order_convergence(self):
+        exact = bs_price(100, 95, 0.25, 0.03, 1.5)
+        errs = [
+            abs(leisen_reimer_price(100, 95, 0.25, 0.03, 1.5, n).price - exact)
+            for n in (25, 51, 101, 201)
+        ]
+        # Strictly decreasing (no CRR-style oscillation) and fast.
+        assert all(b < a for a, b in zip(errs, errs[1:]))
+        assert errs[-1] < 5e-5
+
+    def test_off_money_strikes(self):
+        for k in (70.0, 130.0):
+            exact = bs_price(100, k, 0.2, 0.05, 1.0)
+            v = leisen_reimer_price(100, k, 0.2, 0.05, 1.0, 101).price
+            assert v == pytest.approx(exact, abs=2e-4)
+
+    def test_dividend(self):
+        exact = bs_price(100, 100, 0.2, 0.05, 1.0, dividend=0.03)
+        v = leisen_reimer_price(100, 100, 0.2, 0.05, 1.0, 101,
+                                dividend=0.03).price
+        assert v == pytest.approx(exact, abs=2e-4)
+
+    def test_delta_accuracy(self):
+        g = bs_greeks(100, 100, 0.2, 0.05, 1.0)
+        r = leisen_reimer_price(100, 100, 0.2, 0.05, 1.0, 201)
+        assert r.delta[0] == pytest.approx(g.delta, abs=2e-3)
+
+
+class TestAmerican:
+    def test_american_put_matches_crr_reference(self):
+        crr = binomial_price(100, Put(100.0), 0.2, 0.05, 1.0, 2001,
+                             american=True).price
+        lr = leisen_reimer_price(100, 100, 0.2, 0.05, 1.0, 201, option="put",
+                                 american=True).price
+        assert lr == pytest.approx(crr, abs=5e-3)
+
+    def test_american_geq_european(self):
+        eu = leisen_reimer_price(100, 100, 0.2, 0.05, 1.0, 101, option="put").price
+        am = leisen_reimer_price(100, 100, 0.2, 0.05, 1.0, 101, option="put",
+                                 american=True).price
+        assert am > eu
+
+
+class TestValidation:
+    def test_even_steps_rejected(self):
+        with pytest.raises(ValidationError, match="odd"):
+            leisen_reimer_price(100, 100, 0.2, 0.05, 1.0, 100)
+
+    def test_option_name(self):
+        with pytest.raises(ValidationError):
+            leisen_reimer_price(100, 100, 0.2, 0.05, 1.0, 101, option="straddle")
+
+    def test_meta(self):
+        r = leisen_reimer_price(100, 100, 0.2, 0.05, 1.0, 51)
+        assert r.meta["scheme"] == "leisen-reimer"
+        assert 0 < r.meta["p"] < 1

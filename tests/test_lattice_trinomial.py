@@ -1,0 +1,69 @@
+"""Trinomial lattice."""
+
+import math
+
+import pytest
+
+from repro.analytic import bs_price
+from repro.errors import StabilityError, ValidationError
+from repro.lattice import binomial_price, trinomial_price
+from repro.payoffs import BasketCall, Call, Put
+
+
+class TestConvergence:
+    def test_converges_to_black_scholes(self):
+        exact = bs_price(100, 100, 0.2, 0.05, 1.0)
+        r = trinomial_price(100, Call(100.0), 0.2, 0.05, 1.0, 400)
+        assert r.price == pytest.approx(exact, abs=5e-3)
+
+    def test_faster_per_step_than_binomial(self):
+        exact = bs_price(100, 100, 0.2, 0.05, 1.0)
+        tri = trinomial_price(100, Call(100.0), 0.2, 0.05, 1.0, 100).price
+        bino = binomial_price(100, Call(100.0), 0.2, 0.05, 1.0, 100).price
+        assert abs(tri - exact) < abs(bino - exact) + 5e-3
+
+    def test_put_call_parity(self):
+        c = trinomial_price(100, Call(90.0), 0.25, 0.03, 2.0, 150).price
+        p = trinomial_price(100, Put(90.0), 0.25, 0.03, 2.0, 150).price
+        # Parity holds up to the tree's tail truncation (~1e-6 here).
+        assert c - p == pytest.approx(100 - 90 * math.exp(-0.06), abs=1e-4)
+
+    def test_dividend(self):
+        exact = bs_price(100, 100, 0.2, 0.05, 1.0, dividend=0.02)
+        r = trinomial_price(100, Call(100.0), 0.2, 0.05, 1.0, 300, dividend=0.02)
+        assert r.price == pytest.approx(exact, abs=0.01)
+
+
+class TestAmerican:
+    def test_matches_binomial_american_put(self):
+        tri = trinomial_price(100, Put(100.0), 0.2, 0.05, 1.0, 500, american=True)
+        bino = binomial_price(100, Put(100.0), 0.2, 0.05, 1.0, 1000, american=True)
+        assert tri.price == pytest.approx(bino.price, abs=0.01)
+
+
+class TestStretchAndStability:
+    def test_custom_stretch(self):
+        exact = bs_price(100, 100, 0.2, 0.05, 1.0)
+        r = trinomial_price(100, Call(100.0), 0.2, 0.05, 1.0, 300,
+                            stretch=math.sqrt(1.5))
+        assert r.price == pytest.approx(exact, abs=0.02)
+
+    def test_stretch_below_one_rejected(self):
+        with pytest.raises(ValidationError):
+            trinomial_price(100, Call(100.0), 0.2, 0.05, 1.0, 100, stretch=0.9)
+
+    def test_extreme_drift_raises_stability(self):
+        with pytest.raises(StabilityError):
+            trinomial_price(100, Call(100.0), 0.01, 0.8, 1.0, 1)
+
+    def test_node_count(self):
+        r = trinomial_price(100, Call(100.0), 0.2, 0.05, 1.0, 10)
+        assert r.nodes == 121
+
+    def test_delta_reported(self):
+        r = trinomial_price(100, Call(100.0), 0.2, 0.05, 1.0, 200)
+        assert 0.5 < r.delta[0] < 0.75
+
+    def test_multi_asset_rejected(self):
+        with pytest.raises(ValidationError):
+            trinomial_price(100, BasketCall([1, 1], 100.0), 0.2, 0.05, 1.0, 10)

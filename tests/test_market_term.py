@@ -1,0 +1,76 @@
+"""Term structures."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.market import FlatCurve, ZeroCurve
+
+
+class TestFlatCurve:
+    def test_discount(self):
+        c = FlatCurve(0.05)
+        assert c.discount(2.0) == pytest.approx(math.exp(-0.1))
+        assert c.discount(0.0) == pytest.approx(1.0)
+
+    def test_vectorized_discount(self):
+        c = FlatCurve(0.03)
+        t = np.array([0.5, 1.0, 2.0])
+        assert np.allclose(c.discount(t), np.exp(-0.03 * t))
+
+    def test_forward_rate_equals_rate(self):
+        assert FlatCurve(0.04).forward_rate(0.5, 1.5) == pytest.approx(0.04)
+
+    def test_forward_rate_validation(self):
+        with pytest.raises(ValidationError):
+            FlatCurve(0.04).forward_rate(1.0, 1.0)
+
+    def test_negative_rates_allowed(self):
+        # 2026: negative rates are a fact of life.
+        c = FlatCurve(-0.01)
+        assert c.discount(1.0) > 1.0
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            FlatCurve(float("nan"))
+
+
+class TestZeroCurve:
+    def _curve(self):
+        return ZeroCurve([0.5, 1.0, 2.0], [0.02, 0.03, 0.04])
+
+    def test_interpolates(self):
+        c = self._curve()
+        assert c.zero_rate(0.75) == pytest.approx(0.025)
+
+    def test_flat_extrapolation(self):
+        c = self._curve()
+        assert c.zero_rate(0.1) == pytest.approx(0.02)
+        assert c.zero_rate(10.0) == pytest.approx(0.04)
+
+    def test_discount_consistency(self):
+        c = self._curve()
+        t = 1.5
+        assert c.discount(t) == pytest.approx(math.exp(-c.zero_rate(t) * t))
+
+    def test_forward_rate_reconstructs_discounts(self):
+        c = self._curve()
+        t0, t1 = 0.5, 2.0
+        f = c.forward_rate(t0, t1)
+        lhs = c.discount(t1)
+        rhs = c.discount(t0) * math.exp(-f * (t1 - t0))
+        assert lhs == pytest.approx(rhs, rel=1e-12)
+
+    def test_rejects_unsorted_times(self):
+        with pytest.raises(ValidationError):
+            ZeroCurve([1.0, 0.5], [0.02, 0.03])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValidationError):
+            ZeroCurve([1.0], [0.02, 0.03])
+
+    def test_rejects_nonpositive_times(self):
+        with pytest.raises(ValidationError):
+            ZeroCurve([0.0, 1.0], [0.02, 0.03])

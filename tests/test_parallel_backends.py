@@ -1,0 +1,102 @@
+"""Execution backends: order preservation, result equality, resource cleanup."""
+
+import os
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.parallel import ProcessBackend, SerialBackend, ThreadBackend
+from repro.parallel.backends import make_backend
+
+
+def _square(x):
+    return x * x
+
+
+def _raise(_):
+    raise RuntimeError("worker exploded")
+
+
+class TestSerial:
+    def test_maps_in_order(self):
+        assert SerialBackend().map(_square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_empty(self):
+        assert SerialBackend().map(_square, []) == []
+
+
+class TestThread:
+    def test_maps_in_order(self):
+        backend = ThreadBackend(4)
+        try:
+            assert backend.map(_square, list(range(20))) == [i * i for i in range(20)]
+        finally:
+            backend.close()
+
+    def test_pool_reused_across_maps(self):
+        backend = ThreadBackend(2)
+        try:
+            a = backend.map(_square, [1, 2])
+            b = backend.map(_square, [3, 4])
+            assert a == [1, 4] and b == [9, 16]
+        finally:
+            backend.close()
+
+    def test_close_idempotent(self):
+        backend = ThreadBackend(1)
+        backend.map(_square, [1])
+        backend.close()
+        backend.close()
+
+    def test_worker_count_validated(self):
+        with pytest.raises(ValidationError):
+            ThreadBackend(0)
+
+
+@pytest.mark.skipif(os.name != "posix", reason="fork backend is POSIX-only")
+class TestProcess:
+    def test_maps_in_order(self):
+        backend = ProcessBackend(2)
+        try:
+            assert backend.map(_square, [1, 2, 3, 4]) == [1, 4, 9, 16]
+        finally:
+            backend.close()
+
+    def test_worker_exception_wrapped(self):
+        from repro.errors import BackendError
+
+        backend = ProcessBackend(1)
+        try:
+            with pytest.raises(BackendError):
+                backend.map(_raise, [1])
+        finally:
+            backend.close()
+
+
+class TestEquivalence:
+    def test_all_backends_same_results(self):
+        tasks = list(range(17))
+        expected = [t * t for t in tasks]
+        backends = [SerialBackend(), ThreadBackend(3), ProcessBackend(2)]
+        try:
+            for b in backends:
+                assert b.map(_square, tasks) == expected, b.name
+        finally:
+            for b in backends:
+                b.close()
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("serial", SerialBackend),
+        ("thread", ThreadBackend),
+        ("process", ProcessBackend),
+    ])
+    def test_factory_dispatch(self, name, cls):
+        b = make_backend(name, 1)
+        assert isinstance(b, cls)
+        b.close()
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValidationError):
+            make_backend("gpu")

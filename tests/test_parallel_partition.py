@@ -1,0 +1,97 @@
+"""Work partitioners: exact coverage, balance, ownership consistency."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import PartitionError
+from repro.parallel import (
+    block_cyclic_indices,
+    block_partition,
+    block_sizes,
+    cyclic_indices,
+    owner_of,
+)
+
+ns = st.integers(0, 10_000)
+ps = st.integers(1, 64)
+
+
+class TestBlock:
+    @given(ns, ps)
+    def test_sizes_sum_and_balance(self, n, p):
+        sizes = block_sizes(n, p)
+        assert sum(sizes) == n
+        assert len(sizes) == p
+        assert max(sizes) - min(sizes) <= 1
+        # Larger blocks come first (deterministic layout).
+        assert sizes == sorted(sizes, reverse=True)
+
+    @given(ns, ps)
+    def test_ranges_tile_exactly(self, n, p):
+        parts = block_partition(n, p)
+        covered = []
+        for start, stop in parts:
+            assert 0 <= start <= stop <= n
+            covered.extend(range(start, stop))
+        assert covered == list(range(n))
+
+    @given(st.integers(1, 5000), ps)
+    def test_owner_consistent_with_partition(self, n, p):
+        parts = block_partition(n, p)
+        rng = np.random.default_rng(0)
+        for idx in rng.integers(0, n, size=10):
+            r = owner_of(int(idx), n, p)
+            start, stop = parts[r]
+            assert start <= idx < stop
+
+    def test_more_ranks_than_items(self):
+        sizes = block_sizes(3, 8)
+        assert sizes == [1, 1, 1, 0, 0, 0, 0, 0]
+
+    def test_validation(self):
+        with pytest.raises(PartitionError):
+            block_sizes(-1, 4)
+        with pytest.raises(PartitionError):
+            block_sizes(10, 0)
+        with pytest.raises(PartitionError):
+            owner_of(10, 10, 2)
+
+
+class TestCyclic:
+    @given(st.integers(0, 2000), ps)
+    def test_lanes_tile_exactly(self, n, p):
+        all_idx = np.concatenate([cyclic_indices(n, p, r) for r in range(p)])
+        assert sorted(all_idx.tolist()) == list(range(n))
+
+    def test_stride_structure(self):
+        idx = cyclic_indices(10, 3, 1)
+        assert idx.tolist() == [1, 4, 7]
+
+    def test_rank_bounds(self):
+        with pytest.raises(PartitionError):
+            cyclic_indices(10, 3, 3)
+
+
+class TestBlockCyclic:
+    @given(st.integers(0, 2000), st.integers(1, 16), st.integers(1, 7))
+    def test_tiles_exactly(self, n, p, block):
+        all_idx = np.concatenate(
+            [block_cyclic_indices(n, p, r, block) for r in range(p)]
+        )
+        assert sorted(all_idx.tolist()) == list(range(n))
+
+    def test_block_one_equals_cyclic(self):
+        a = block_cyclic_indices(20, 4, 2, 1)
+        b = cyclic_indices(20, 4, 2)
+        assert np.array_equal(a, b)
+
+    def test_huge_block_equals_block_partition_prefix(self):
+        # Block size ≥ n: rank 0 takes everything.
+        idx = block_cyclic_indices(10, 4, 0, 100)
+        assert idx.tolist() == list(range(10))
+
+    def test_validation(self):
+        with pytest.raises(PartitionError):
+            block_cyclic_indices(10, 2, 0, 0)

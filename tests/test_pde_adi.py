@@ -1,0 +1,133 @@
+"""2-D ADI solver against multi-asset closed forms."""
+
+import numpy as np
+import pytest
+
+from repro.analytic import (
+    kirk_spread_price,
+    margrabe_price,
+    rainbow_two_asset_price,
+)
+from repro.errors import ValidationError
+from repro.market import MultiAssetGBM, constant_correlation
+from repro.payoffs import (
+    AsianGeometricCall,
+    BasketCall,
+    Call,
+    CallOnMax,
+    CallOnMin,
+    ExchangeOption,
+    SpreadCall,
+)
+from repro.pde import ADISolver, adi_price
+
+
+class TestAccuracy:
+    def test_exchange_vs_margrabe(self, model_2d):
+        exact = margrabe_price(100, 95, 0.2, 0.3, 0.4, 1.0)
+        r = adi_price(model_2d, ExchangeOption(), 1.0, n_space=160, n_time=80)
+        assert r.price == pytest.approx(exact, abs=0.03)
+
+    @pytest.mark.parametrize("kind,payoff", [
+        ("call-on-max", CallOnMax(100.0)),
+        ("call-on-min", CallOnMin(100.0)),
+    ])
+    def test_rainbow_vs_stulz(self, model_2d, kind, payoff):
+        exact = rainbow_two_asset_price(100, 95, 100, 0.2, 0.3, 0.4, 0.05, 1.0,
+                                        kind=kind)
+        r = adi_price(model_2d, payoff, 1.0, n_space=160, n_time=80)
+        assert r.price == pytest.approx(exact, abs=0.05)
+
+    def test_spread_vs_kirk(self):
+        model = MultiAssetGBM([100.0, 96.0], [0.25, 0.2], 0.05,
+                              correlation=constant_correlation(2, 0.5))
+        kirk = kirk_spread_price(100, 96, 5.0, 0.25, 0.2, 0.5, 0.05, 1.0)
+        r = adi_price(model, SpreadCall(5.0), 1.0, n_space=160, n_time=80)
+        # Kirk is itself approximate — agree to ~1%.
+        assert r.price == pytest.approx(kirk, rel=0.02)
+
+    def test_basket_two_assets(self, model_2d):
+        # Sanity: 2-asset basket call prices between the two vanilla extremes.
+        r = adi_price(model_2d, BasketCall([0.5, 0.5], 100.0), 1.0,
+                      n_space=120, n_time=60)
+        assert 0 < r.price < 100
+
+    def test_negative_correlation(self):
+        model = MultiAssetGBM([100.0, 95.0], [0.2, 0.3], 0.05,
+                              correlation=constant_correlation(2, -0.6))
+        exact = margrabe_price(100, 95, 0.2, 0.3, -0.6, 1.0)
+        r = adi_price(model, ExchangeOption(), 1.0, n_space=200, n_time=100)
+        assert r.price == pytest.approx(exact, rel=0.01)
+
+    def test_grid_refinement_reduces_error(self, model_2d):
+        exact = margrabe_price(100, 95, 0.2, 0.3, 0.4, 1.0)
+        coarse = adi_price(model_2d, ExchangeOption(), 1.0, n_space=60,
+                           n_time=30).price
+        fine = adi_price(model_2d, ExchangeOption(), 1.0, n_space=240,
+                         n_time=120).price
+        assert abs(fine - exact) < abs(coarse - exact)
+
+
+class TestAmerican:
+    def test_american_geq_european(self, model_2d):
+        eu = adi_price(model_2d, CallOnMax(100.0), 1.0, n_space=100, n_time=50)
+        am = adi_price(model_2d, CallOnMax(100.0), 1.0, n_space=100, n_time=50,
+                       american=True)
+        assert am.price >= eu.price - 1e-9
+
+    def test_american_max_call_with_dividends_vs_lattice(self):
+        from repro.lattice import beg_price
+
+        model = MultiAssetGBM(
+            [100.0, 100.0], [0.2, 0.2], 0.05, dividends=[0.1, 0.1],
+            correlation=constant_correlation(2, 0.0),
+        )
+        tree = beg_price(model, CallOnMax(100.0), 1.0, 150, american=True).price
+        r = adi_price(model, CallOnMax(100.0), 1.0, n_space=200, n_time=100,
+                      american=True)
+        assert r.price == pytest.approx(tree, rel=0.01)
+
+
+class TestSolverObject:
+    def test_step_preserves_shape(self, model_2d):
+        solver = ADISolver(model_2d, 1.0, n_space=40, n_time=10)
+        sx, sy = solver.grid_x.s, solver.grid_y.s
+        mesh = np.stack(np.meshgrid(sx, sy, indexing="ij"), axis=-1).reshape(-1, 2)
+        v = ExchangeOption().terminal(mesh).reshape(sx.size, sy.size)
+        out = solver.step(v)
+        assert out.shape == v.shape
+
+    def test_mixed_term_zero_for_uncorrelated(self):
+        model = MultiAssetGBM([100.0, 95.0], [0.2, 0.3], 0.05)
+        solver = ADISolver(model, 1.0, n_space=20, n_time=5)
+        v = np.outer(np.arange(21.0), np.arange(21.0))
+        assert np.allclose(solver.mixed_term(v), 0.0)
+
+    def test_mixed_term_on_separable_product(self, model_2d):
+        # V = x·y has V_xy = 1 ⇒ mixed term = ρσ₁σ₂ in the interior.
+        solver = ADISolver(model_2d, 1.0, n_space=20, n_time=5)
+        x = solver.grid_x.x
+        y = solver.grid_y.x
+        v = np.outer(x, y)
+        out = solver.mixed_term(v)
+        expected = 0.4 * 0.2 * 0.3
+        assert np.allclose(out[1:-1, 1:-1], expected, rtol=1e-10)
+
+    def test_requires_two_assets(self, model_1d):
+        with pytest.raises(ValidationError):
+            ADISolver(model_1d, 1.0)
+
+    def test_payoff_dim_checked(self, model_2d):
+        solver = ADISolver(model_2d, 1.0, n_space=20, n_time=5)
+        with pytest.raises(ValidationError):
+            solver.price(Call(100.0))
+
+    def test_path_dependent_rejected(self, model_2d):
+        solver = ADISolver(model_2d, 1.0, n_space=20, n_time=5)
+        with pytest.raises(ValidationError):
+            solver.price(AsianGeometricCall(100.0, dim=2))
+
+    def test_delta_reported(self, model_2d):
+        r = adi_price(model_2d, CallOnMax(100.0), 1.0, n_space=100, n_time=50)
+        assert 0 < r.delta < 1
+        assert 0 < r.meta["delta2"] < 1

@@ -1,0 +1,73 @@
+"""Penalty method for the American LCP — the PSOR ablation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.lattice import binomial_price
+from repro.payoffs import Put
+from repro.pde import fd_price, penalty_solve, psor_solve
+from repro.utils.numerics import solve_tridiagonal
+
+
+def _system(n, seed=0):
+    rng = np.random.default_rng(seed)
+    lower = -np.abs(rng.normal(size=n)) * 0.3
+    upper = -np.abs(rng.normal(size=n)) * 0.3
+    diag = np.abs(lower) + np.abs(upper) + 1.0
+    rhs = rng.normal(size=n)
+    return lower, diag, upper, rhs
+
+
+class TestSolver:
+    def test_unconstrained_limit(self):
+        lower, diag, upper, rhs = _system(60, 1)
+        obstacle = np.full(60, -1e9)
+        x = penalty_solve(lower, diag, upper, rhs, obstacle)
+        exact = solve_tridiagonal(lower.copy(), diag.copy(), upper.copy(),
+                                  rhs.copy())
+        assert np.allclose(x, exact, atol=1e-6)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_psor(self, seed):
+        lower, diag, upper, rhs = _system(80, seed)
+        obstacle = np.sin(np.linspace(0, 3, 80))
+        x_pen = penalty_solve(lower, diag, upper, rhs, obstacle, penalty=1e8)
+        x_psor = psor_solve(lower, diag, upper, rhs, obstacle, tol=1e-11)
+        assert np.allclose(x_pen, x_psor, atol=1e-5)
+
+    def test_feasibility(self):
+        lower, diag, upper, rhs = _system(50, 7)
+        obstacle = np.linspace(-1, 1, 50)
+        x = penalty_solve(lower, diag, upper, rhs, obstacle)
+        assert np.all(x >= obstacle - 1e-9)
+
+    def test_validation(self):
+        lower, diag, upper, rhs = _system(10)
+        with pytest.raises(ValidationError):
+            penalty_solve(lower, diag, upper, rhs, np.zeros(10), penalty=0.0)
+        with pytest.raises(ValidationError):
+            penalty_solve(lower, diag, upper, rhs[:5], np.zeros(10))
+
+
+class TestAmericanAblation:
+    def test_psor_and_penalty_price_identically(self):
+        kwargs = dict(n_space=300, n_time=150, american=True)
+        psor = fd_price(100, Put(100.0), 0.2, 0.05, 1.0,
+                        american_solver="psor", **kwargs)
+        pen = fd_price(100, Put(100.0), 0.2, 0.05, 1.0,
+                       american_solver="penalty", **kwargs)
+        assert pen.price == pytest.approx(psor.price, abs=5e-4)
+        assert pen.meta["american_solver"] == "penalty"
+
+    def test_penalty_matches_binomial_reference(self):
+        tree = binomial_price(100, Put(100.0), 0.2, 0.05, 1.0, 2000,
+                              american=True).price
+        pen = fd_price(100, Put(100.0), 0.2, 0.05, 1.0, american=True,
+                       american_solver="penalty", n_space=300, n_time=150)
+        assert pen.price == pytest.approx(tree, abs=0.01)
+
+    def test_solver_name_validated(self):
+        with pytest.raises(ValidationError):
+            fd_price(100, Put(100.0), 0.2, 0.05, 1.0, american=True,
+                     american_solver="active-set")

@@ -1,0 +1,89 @@
+"""Projected SOR: LCP solution properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConvergenceError, ValidationError
+from repro.pde import psor_solve
+from repro.utils.numerics import solve_tridiagonal
+
+
+def _system(n, seed=0):
+    rng = np.random.default_rng(seed)
+    lower = -np.abs(rng.normal(size=n)) * 0.3
+    upper = -np.abs(rng.normal(size=n)) * 0.3
+    diag = np.abs(lower) + np.abs(upper) + 1.0  # M-matrix: PSOR-friendly
+    rhs = rng.normal(size=n)
+    return lower, diag, upper, rhs
+
+
+class TestUnconstrainedLimit:
+    @pytest.mark.parametrize("n", [3, 17, 101])
+    def test_low_obstacle_recovers_linear_solve(self, n):
+        lower, diag, upper, rhs = _system(n, seed=n)
+        obstacle = np.full(n, -1e9)
+        x_psor = psor_solve(lower, diag, upper, rhs, obstacle, tol=1e-12)
+        x_exact = solve_tridiagonal(lower.copy(), diag.copy(), upper.copy(), rhs.copy())
+        assert np.allclose(x_psor, x_exact, atol=1e-8)
+
+
+class TestComplementarity:
+    @given(st.integers(0, 50))
+    def test_kkt_conditions_hold(self, seed):
+        n = 40
+        lower, diag, upper, rhs = _system(n, seed)
+        obstacle = np.sin(np.linspace(0, 3, n))  # nontrivial obstacle
+        x = psor_solve(lower, diag, upper, rhs, obstacle, tol=1e-12)
+        # Feasibility.
+        assert np.all(x >= obstacle - 1e-9)
+        # Residual A x − b must be ≥ 0 where x is pinned at the obstacle
+        # and ≈ 0 where x is free.
+        resid = diag * x - rhs
+        resid[1:] += lower[1:] * x[:-1]
+        resid[:-1] += upper[:-1] * x[1:]
+        free = x > obstacle + 1e-7
+        assert np.allclose(resid[free], 0.0, atol=1e-6)
+        assert np.all(resid[~free] >= -1e-6)
+
+    def test_obstacle_binding_everywhere(self):
+        # Huge obstacle: solution is the obstacle itself.
+        n = 10
+        lower, diag, upper, rhs = _system(n, 1)
+        obstacle = np.full(n, 100.0)
+        x = psor_solve(lower, diag, upper, rhs, obstacle)
+        assert np.allclose(x, 100.0)
+
+
+class TestParametersAndFailure:
+    def test_omega_bounds(self):
+        lower, diag, upper, rhs = _system(5)
+        with pytest.raises(ValidationError):
+            psor_solve(lower, diag, upper, rhs, rhs, omega=2.0)
+        with pytest.raises(ValidationError):
+            psor_solve(lower, diag, upper, rhs, rhs, omega=0.0)
+
+    def test_zero_diagonal_rejected(self):
+        with pytest.raises(ValidationError):
+            psor_solve([0, 0], [1, 0], [0, 0], [1, 1], [0, 0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            psor_solve([0.0], [1.0, 1.0], [0.0, 0.0], [1.0, 1.0], [0.0, 0.0])
+
+    def test_iteration_budget_exhaustion(self):
+        lower, diag, upper, rhs = _system(200, 3)
+        with pytest.raises(ConvergenceError) as exc:
+            psor_solve(lower, diag, upper, rhs, np.full(200, -1e9),
+                       tol=1e-16, max_iter=2)
+        assert exc.value.iterations == 2
+
+    def test_warm_start_converges_faster(self):
+        lower, diag, upper, rhs = _system(100, 4)
+        obstacle = np.zeros(100)
+        x = psor_solve(lower, diag, upper, rhs, obstacle, tol=1e-12)
+        # Restarting at the solution converges immediately without error.
+        x2 = psor_solve(lower, diag, upper, rhs, obstacle, x0=x, tol=1e-12,
+                        max_iter=5)
+        assert np.allclose(x, x2, atol=1e-9)

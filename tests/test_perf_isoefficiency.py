@@ -1,0 +1,116 @@
+"""Isoefficiency solver and the analytic scalability ranking of the engines."""
+
+import math
+
+import pytest
+
+from repro.errors import ConvergenceError, ValidationError
+from repro.parallel import MachineSpec
+from repro.perf import isoefficiency_curve, solve_problem_size
+
+SPEC = MachineSpec()
+
+
+def mc_time(n: int, p: int) -> float:
+    """Parallel MC: n/p work units + tree reduce."""
+    t = (n / p) * SPEC.flop_time * 50
+    if p > 1:
+        t += math.ceil(math.log2(p)) * SPEC.message_time(24)
+    return t
+
+
+def lattice_time(n: int, p: int) -> float:
+    """2-D lattice: ~n³/p work + n per-level halo latencies."""
+    t = (n**3 / p) * SPEC.flop_time * 10
+    if p > 1:
+        t += n * 2 * SPEC.message_time(8 * n)
+    return t
+
+
+def pde_time(n: int, p: int) -> float:
+    """ADI: n² work per step + two (p−1)-round all-to-alls."""
+    t = (n * n / p) * SPEC.flop_time * 30
+    if p > 1:
+        t += 2 * (p - 1) * SPEC.message_time(8.0 * n * n / (p * p))
+    return t
+
+
+class TestSolver:
+    def test_p1_returns_minimum(self):
+        assert solve_problem_size(mc_time, 1, 0.9) == 1
+
+    def test_boundary_efficiency_achieved(self):
+        n = solve_problem_size(mc_time, 16, 0.8)
+        t1 = mc_time(n, 1)
+        tp = mc_time(n, 16)
+        assert t1 / (16 * tp) >= 0.8 - 1e-9
+
+    def test_minimality_within_tolerance(self):
+        n = solve_problem_size(mc_time, 16, 0.8, tol=0.001)
+        smaller = int(n * 0.9)
+        t1 = mc_time(smaller, 1)
+        assert t1 / (16 * mc_time(smaller, 16)) < 0.8
+
+    def test_higher_efficiency_needs_more_work(self):
+        n50 = solve_problem_size(mc_time, 16, 0.5)
+        n90 = solve_problem_size(mc_time, 16, 0.9)
+        assert n90 > n50
+
+    def test_unreachable_target_raises(self):
+        def capped(n, p):
+            return n / p + 1.0  # constant overhead never amortized? it is...
+
+        # Overhead independent of n *is* amortized; craft one that is not:
+        def hopeless(n, p):
+            return (n / p) * (1.0 + 0.5 * (p > 1)) + 0.0
+
+        with pytest.raises(ConvergenceError):
+            solve_problem_size(hopeless, 8, 0.9, n_max=1 << 20)
+
+    def test_target_bounds_validated(self):
+        with pytest.raises(ValidationError):
+            solve_problem_size(mc_time, 4, 1.0)
+        with pytest.raises(ValidationError):
+            solve_problem_size(mc_time, 4, 0.0)
+
+
+class TestEngineScalabilityRanking:
+    def test_mc_isoefficiency_is_near_p_log_p(self):
+        curve = dict(isoefficiency_curve(mc_time, [2, 4, 8, 16, 32], 0.8))
+        # W(P)/(P log P) should be roughly flat.
+        ratios = [curve[p] / (p * math.log2(p)) for p in (4, 8, 16, 32)]
+        assert max(ratios) / min(ratios) < 2.0
+
+    def test_curves_are_monotone_in_p(self):
+        # Note the 0.5 target: the ADI all-to-all moves a constant fraction
+        # of the computed data, capping its asymptotic efficiency near 0.65
+        # regardless of problem size — itself a correct prediction of the
+        # model (the PDE engine is the least scalable of the three).
+        for model in (mc_time, lattice_time, pde_time):
+            curve = isoefficiency_curve(model, [2, 4, 8, 16], 0.5)
+            ws = [w for _, w in curve]
+            assert all(b >= a for a, b in zip(ws, ws[1:])), model.__name__
+
+    def test_pde_efficiency_ceiling(self):
+        # 0.9 efficiency is unreachable for the transpose-bound ADI model.
+        with pytest.raises(ConvergenceError):
+            solve_problem_size(pde_time, 8, 0.9, n_max=1 << 24)
+
+    def test_work_growth_ranking(self):
+        # Compare in *work* units (paths, lattice nodes ∝ n³, grid points
+        # ∝ n²), not in each model's raw size parameter. The transpose-bound
+        # PDE needs the steepest work growth to hold efficiency; MC tracks
+        # the Θ(P log P) law.
+        growth = {}
+        for name, model, work_of_n in (
+            ("mc", mc_time, lambda n: n),
+            ("lattice", lattice_time, lambda n: n**3),
+            ("pde", pde_time, lambda n: n**2),
+        ):
+            w2 = work_of_n(solve_problem_size(model, 2, 0.5))
+            w16 = work_of_n(solve_problem_size(model, 16, 0.5))
+            growth[name] = w16 / w2
+        assert growth["pde"] > growth["mc"]
+        assert growth["pde"] > growth["lattice"]
+        # Θ(P log P): from P=2 to P=16 the law predicts 8·(4/1) = 32.
+        assert growth["mc"] == pytest.approx(32.0, rel=0.3)

@@ -1,0 +1,119 @@
+"""Halton sequences: radical inverse, stratification, scrambling."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.rng import HALTON_MAX_DIM, HaltonSequence
+from repro.rng.halton import first_primes, radical_inverse
+
+
+class TestRadicalInverse:
+    def test_base2_is_van_der_corput(self):
+        got = radical_inverse(np.arange(8), 2)
+        expected = [0.0, 0.5, 0.25, 0.75, 0.125, 0.625, 0.375, 0.875]
+        assert np.allclose(got, expected)
+
+    def test_base3_known_prefix(self):
+        got = radical_inverse(np.arange(4), 3)
+        assert np.allclose(got, [0.0, 1 / 3, 2 / 3, 1 / 9])
+
+    @given(st.integers(2, 13), st.integers(0, 10_000))
+    def test_in_unit_interval(self, base, idx):
+        v = radical_inverse(np.array([idx]), base)[0]
+        assert 0.0 <= v < 1.0
+
+    def test_permutation_validated(self):
+        with pytest.raises(ValidationError):
+            radical_inverse(np.arange(4), 3, permutation=np.array([0, 0, 2]))
+
+    def test_identity_permutation_is_noop(self):
+        idx = np.arange(50)
+        a = radical_inverse(idx, 5)
+        b = radical_inverse(idx, 5, permutation=np.arange(5))
+        assert np.allclose(a, b)
+
+    def test_negative_indices_rejected(self):
+        with pytest.raises(ValidationError):
+            radical_inverse(np.array([-1]), 2)
+
+
+class TestFirstPrimes:
+    def test_prefix(self):
+        assert first_primes(5) == (2, 3, 5, 7, 11)
+
+    def test_bounds(self):
+        with pytest.raises(ValidationError):
+            first_primes(0)
+        with pytest.raises(ValidationError):
+            first_primes(HALTON_MAX_DIM + 1)
+
+
+class TestHaltonSequence:
+    def test_coordinates_use_distinct_bases(self):
+        pts = HaltonSequence(3).next(10)
+        assert not np.allclose(pts[:, 0], pts[:, 1])
+        assert not np.allclose(pts[:, 1], pts[:, 2])
+
+    @pytest.mark.parametrize("dim", [1, 3, 8])
+    def test_low_discrepancy_means(self, dim):
+        pts = HaltonSequence(dim).next(4096)
+        assert np.allclose(pts.mean(axis=0), 0.5, atol=0.01)
+
+    def test_base2_coordinate_stratifies(self):
+        pts = HaltonSequence(1).next(256)
+        hist, _ = np.histogram(pts[:, 0], bins=16, range=(0, 1))
+        assert np.all(hist == 16)
+
+    def test_skip_matches_offset(self):
+        ref = HaltonSequence(4).next(60)
+        s = HaltonSequence(4, skip=25)
+        assert np.allclose(s.next(35), ref[25:])
+
+    def test_skip_method(self):
+        s = HaltonSequence(2)
+        s.skip(7)
+        assert s.position == 7
+
+    def test_scramble_deterministic(self):
+        a = HaltonSequence(6, scramble=True, seed=1).next(32)
+        b = HaltonSequence(6, scramble=True, seed=1).next(32)
+        c = HaltonSequence(6, scramble=True, seed=2).next(32)
+        assert np.allclose(a, b)
+        assert not np.allclose(a, c)
+
+    def test_scramble_preserves_means(self):
+        pts = HaltonSequence(8, scramble=True, seed=5).next(4096)
+        assert np.allclose(pts.mean(axis=0), 0.5, atol=0.02)
+
+    def test_scramble_decorrelates_high_dims(self):
+        # Dimensions 20+ of plain Halton (bases 73, 79) are strongly
+        # correlated on short prefixes; scrambling should shrink |ρ|.
+        n = 512
+        plain = HaltonSequence(22).next(n)
+        scram = HaltonSequence(22, scramble=True, seed=9).next(n)
+        c_plain = abs(np.corrcoef(plain[:, 20], plain[:, 21])[0, 1])
+        c_scram = abs(np.corrcoef(scram[:, 20], scram[:, 21])[0, 1])
+        assert c_scram < c_plain
+
+    def test_integrates_smooth_function_better_than_mc(self):
+        from repro.rng import Philox4x32
+
+        n, dim = 4096, 5
+        h = HaltonSequence(dim, skip=1).next(n)
+        qmc_est = np.prod(2.0 * h, axis=1).mean()
+        mc = Philox4x32(3).uniforms(n * dim).reshape(n, dim)
+        mc_est = np.prod(2.0 * mc, axis=1).mean()
+        assert abs(qmc_est - 1.0) < abs(mc_est - 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            HaltonSequence(0)
+        with pytest.raises(ValidationError):
+            HaltonSequence(HALTON_MAX_DIM + 1)
+        with pytest.raises(ValidationError):
+            HaltonSequence(2, skip=-1)
+        with pytest.raises(ValidationError):
+            HaltonSequence(2).next(-1)

@@ -1,0 +1,137 @@
+"""Lcg64: determinism, jump-ahead algebra, leapfrog composition."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.rng import Lcg64
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = Lcg64(42).random_raw(256)
+        b = Lcg64(42).random_raw(256)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = Lcg64(1).random_raw(64)
+        b = Lcg64(2).random_raw(64)
+        assert not np.array_equal(a, b)
+
+    def test_stream_continuity_across_calls(self):
+        g = Lcg64(7)
+        whole = Lcg64(7).random_raw(300)
+        pieces = np.concatenate([g.random_raw(100), g.random_raw(37), g.random_raw(163)])
+        assert np.array_equal(whole, pieces)
+
+    def test_clone_preserves_position(self):
+        g = Lcg64(5)
+        g.random_raw(123)
+        c = g.clone()
+        assert np.array_equal(g.random_raw(50), c.random_raw(50))
+
+
+class TestJump:
+    @given(st.integers(0, 5000), st.integers(0, 5000))
+    def test_jump_equals_consumption(self, k1, k2):
+        a = Lcg64(9)
+        a.jump(k1)
+        a.jump(k2)
+        b = Lcg64(9)
+        b.jump(k1 + k2)
+        assert a.state == b.state
+
+    def test_jump_matches_draws(self):
+        g = Lcg64(11)
+        seq = g.random_raw(500)
+        h = Lcg64(11)
+        h.jump(250)
+        assert np.array_equal(h.random_raw(250), seq[250:])
+
+    def test_jump_zero_is_identity(self):
+        g = Lcg64(3)
+        s = g.state
+        g.jump(0)
+        assert g.state == s
+
+    def test_negative_jump_rejected(self):
+        with pytest.raises(ValidationError):
+            Lcg64(1).jump(-1)
+
+    def test_random_raw_advances_state_by_n(self):
+        g = Lcg64(13)
+        h = g.clone()
+        g.random_raw(777)
+        h.jump(777)
+        assert g.state == h.state
+
+
+class TestLeapfrog:
+    @pytest.mark.parametrize("stride", [2, 3, 4, 7])
+    def test_leapfrog_interleaves_exactly(self, stride):
+        full = Lcg64(21).random_raw(stride * 40)
+        for rank in range(stride):
+            lane = Lcg64(21).leapfrog(rank, stride).random_raw(40)
+            assert np.array_equal(lane, full[rank::stride])
+
+    def test_leapfrog_rejects_bad_rank(self):
+        with pytest.raises(ValidationError):
+            Lcg64(0).leapfrog(4, 4)
+
+    def test_leapfrog_rejects_bad_stride(self):
+        with pytest.raises(ValidationError):
+            Lcg64(0).leapfrog(0, 0)
+
+
+class TestSpawn:
+    def test_children_are_disjoint_prefixes(self):
+        children = Lcg64(33).spawn(4)
+        draws = [c.random_raw(1000) for c in children]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert not np.intersect1d(draws[i], draws[j]).size
+
+
+class TestStatistics:
+    def test_uniform_moments(self):
+        u = Lcg64(101).uniforms(200_000)
+        assert abs(u.mean() - 0.5) < 0.005
+        assert abs(u.var() - 1.0 / 12.0) < 0.002
+        assert u.min() >= 0.0 and u.max() < 1.0
+
+    def test_uniforms_open_excludes_zero(self):
+        u = Lcg64(5).uniforms_open(100_000)
+        assert u.min() > 0.0
+
+    def test_no_serial_correlation(self):
+        u = Lcg64(77).uniforms(100_000)
+        c = np.corrcoef(u[:-1], u[1:])[0, 1]
+        assert abs(c) < 0.01
+
+    def test_integers_range_and_uniformity(self):
+        x = Lcg64(3).integers(60_000, 6)
+        assert x.min() >= 0 and x.max() <= 5
+        counts = np.bincount(x, minlength=6)
+        assert counts.min() > 60_000 / 6 * 0.9
+
+    def test_integers_high_one(self):
+        assert np.all(Lcg64(1).integers(10, 1) == 0)
+
+    def test_integers_rejects_nonpositive_high(self):
+        with pytest.raises(ValidationError):
+            Lcg64(1).integers(5, 0)
+
+
+class TestEdgeCases:
+    def test_zero_draws(self):
+        assert Lcg64(0).random_raw(0).size == 0
+
+    def test_negative_draws_rejected(self):
+        with pytest.raises(ValidationError):
+            Lcg64(0).uniforms(-1)
+
+    def test_seed_zero_is_not_degenerate(self):
+        u = Lcg64(0).uniforms(1000)
+        assert u.std() > 0.2

@@ -1,0 +1,81 @@
+"""Gaussian transforms: moments, tail behaviour, consumption contracts."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.errors import ValidationError
+from repro.rng import Philox4x32, normals_boxmuller, normals_inverse, normals_polar
+
+
+@pytest.mark.parametrize("method", ["inverse", "boxmuller", "polar"])
+class TestDistribution:
+    def test_moments(self, method):
+        z = Philox4x32(1).normals(200_000, method=method)
+        assert abs(z.mean()) < 0.01
+        assert abs(z.std() - 1.0) < 0.01
+        assert abs(stats.skew(z)) < 0.05
+
+    def test_kolmogorov_smirnov(self, method):
+        z = Philox4x32(2).normals(50_000, method=method)
+        stat, pvalue = stats.kstest(z, "norm")
+        assert pvalue > 1e-4, f"{method} failed KS: stat={stat}, p={pvalue}"
+
+    def test_requested_count(self, method):
+        for n in (0, 1, 2, 7, 1001):
+            assert Philox4x32(3).normals(n, method=method).shape == (n,)
+
+
+class TestInverseSpecifics:
+    def test_consumes_exactly_one_uniform_per_normal(self):
+        # Critical contract for QMC and leapfrog streams.
+        g = Philox4x32(5)
+        normals_inverse(g, 37)
+        assert g.position == 37
+
+    def test_sign_matches_uniform_half(self):
+        # z_i = Φ⁻¹(u_i), so sign(z_i) = sign(u_i − ½) draw by draw.
+        u = Philox4x32(7).uniforms_open(1000)
+        z = normals_inverse(Philox4x32(7), 1000)
+        mismatches = np.sign(z) != np.sign(u - 0.5)
+        assert not mismatches.any() or np.allclose(u[mismatches], 0.5)
+
+
+class TestBoxMullerSpecifics:
+    def test_pairs_have_unit_rayleigh_radius(self):
+        z = normals_boxmuller(Philox4x32(9), 100_000)
+        r2 = z[0::2] ** 2 + z[1::2] ** 2
+        # R² of a Gaussian pair is Exp(1/2): mean 2.
+        assert abs(r2.mean() - 2.0) < 0.05
+
+    def test_odd_count(self):
+        assert normals_boxmuller(Philox4x32(1), 7).shape == (7,)
+
+
+class TestPolarSpecifics:
+    def test_fills_request(self):
+        assert normals_polar(Philox4x32(11), 12345).shape == (12345,)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            normals_polar(Philox4x32(0), -1)
+
+
+def test_methods_agree_in_distribution():
+    zs = {
+        m: np.sort(Philox4x32(21).normals(40_000, method=m))
+        for m in ("inverse", "boxmuller", "polar")
+    }
+    # Same distribution → sorted samples close in Kolmogorov distance.
+    for m in ("boxmuller", "polar"):
+        stat = np.max(np.abs(zs["inverse"] - zs[m]))
+        # Quantile agreement in the bulk (tails are noisier).
+        q = np.linspace(0.05, 0.95, 19)
+        qa = np.quantile(zs["inverse"], q)
+        qb = np.quantile(zs[m], q)
+        assert np.max(np.abs(qa - qb)) < 0.05, m
+
+
+def test_unknown_method_rejected():
+    with pytest.raises(ValidationError):
+        Philox4x32(0).normals(10, method="ziggurat")

@@ -1,0 +1,96 @@
+"""Philox4x32: counter semantics, exact jumps, key splitting."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.rng import Philox4x32
+
+
+class TestCounterSemantics:
+    def test_reproducible(self):
+        assert np.array_equal(Philox4x32(5).random_raw(64), Philox4x32(5).random_raw(64))
+
+    def test_stream_parameter_changes_output(self):
+        a = Philox4x32(5, stream=0).random_raw(64)
+        b = Philox4x32(5, stream=1).random_raw(64)
+        assert not np.array_equal(a, b)
+
+    @given(st.integers(0, 2000), st.integers(1, 500))
+    def test_jump_is_exact_at_any_offset(self, skip, n):
+        ref = Philox4x32(9).random_raw(skip + n)
+        g = Philox4x32(9)
+        g.jump(skip)
+        assert np.array_equal(g.random_raw(n), ref[skip:])
+
+    def test_position_tracks_consumption(self):
+        g = Philox4x32(1)
+        g.random_raw(13)
+        g.jump(5)
+        assert g.position == 18
+
+    def test_clone_at_odd_position(self):
+        g = Philox4x32(2)
+        g.random_raw(7)  # mid-block
+        c = g.clone()
+        assert np.array_equal(g.random_raw(9), c.random_raw(9))
+
+    def test_negative_jump_rejected(self):
+        with pytest.raises(ValidationError):
+            Philox4x32(1).jump(-3)
+
+
+class TestSplitting:
+    def test_children_differ_from_parent_and_each_other(self):
+        parent = Philox4x32(7)
+        kids = parent.spawn(5)
+        streams = [parent.clone().random_raw(256)] + [k.random_raw(256) for k in kids]
+        for i in range(len(streams)):
+            for j in range(i + 1, len(streams)):
+                assert not np.array_equal(streams[i], streams[j])
+
+    def test_spawn_is_deterministic(self):
+        a = Philox4x32(7).spawn(3)[2].random_raw(32)
+        b = Philox4x32(7).spawn(3)[2].random_raw(32)
+        assert np.array_equal(a, b)
+
+    def test_children_uncorrelated(self):
+        kids = Philox4x32(11).spawn(2)
+        u0 = kids[0].uniforms(100_000)
+        u1 = kids[1].uniforms(100_000)
+        assert abs(np.corrcoef(u0, u1)[0, 1]) < 0.01
+
+
+class TestStatistics:
+    def test_uniform_moments(self):
+        u = Philox4x32(3).uniforms(200_000)
+        assert abs(u.mean() - 0.5) < 0.005
+        assert abs(u.var() - 1.0 / 12.0) < 0.002
+
+    def test_bit_balance(self):
+        # Each of the 64 output bits should be ~50% ones.
+        raw = Philox4x32(17).random_raw(20_000)
+        for bit in (0, 1, 31, 32, 63):
+            ones = ((raw >> np.uint64(bit)) & np.uint64(1)).mean()
+            assert abs(ones - 0.5) < 0.02, f"bit {bit} biased: {ones}"
+
+    def test_normals_moments(self):
+        z = Philox4x32(19).normals(200_000)
+        assert abs(z.mean()) < 0.01
+        assert abs(z.std() - 1.0) < 0.01
+        # Kurtosis of a standard normal is 3.
+        kurt = np.mean(z**4)
+        assert abs(kurt - 3.0) < 0.1
+
+
+class TestEdgeCases:
+    def test_zero_draws(self):
+        assert Philox4x32(0).random_raw(0).size == 0
+
+    def test_single_draw_across_block_boundary(self):
+        g = Philox4x32(4)
+        ref = Philox4x32(4).random_raw(4)
+        singles = np.array([g.random_raw(1)[0] for _ in range(4)])
+        assert np.array_equal(singles, ref)

@@ -1,0 +1,98 @@
+"""Substream construction: disjointness, determinism, scheme contracts."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.rng import (
+    Lcg64,
+    Philox4x32,
+    StreamPartition,
+    Xoshiro256StarStar,
+    block_substream,
+    leapfrog_substream,
+    make_substreams,
+)
+from repro.rng.streams import streams_are_disjoint
+
+
+class TestBlockSplitting:
+    def test_blocks_tile_the_master_stream(self):
+        master = Philox4x32(3)
+        ref = master.clone().random_raw(300)
+        subs = [block_substream(master, r, block_size=100) for r in range(3)]
+        got = np.concatenate([s.random_raw(100) for s in subs])
+        assert np.array_equal(got, ref)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            block_substream(Philox4x32(0), -1)
+        with pytest.raises(ValidationError):
+            block_substream(Philox4x32(0), 0, block_size=0)
+
+    def test_disjointness_guard(self):
+        assert streams_are_disjoint([10, 99, 100], 100)
+        assert not streams_are_disjoint([10, 101], 100)
+
+
+class TestLeapfrog:
+    def test_leapfrog_covers_master_stream(self):
+        master = Lcg64(17)
+        ref = master.clone().random_raw(120)
+        lanes = [leapfrog_substream(master, r, 4).random_raw(30) for r in range(4)]
+        woven = np.empty(120, dtype=np.uint64)
+        for r in range(4):
+            woven[r::4] = lanes[r]
+        assert np.array_equal(woven, ref)
+
+    def test_requires_lcg(self):
+        with pytest.raises(ValidationError, match="Lcg64"):
+            leapfrog_substream(Philox4x32(0), 0, 2)
+
+    def test_rank_bounds(self):
+        with pytest.raises(ValidationError):
+            leapfrog_substream(Lcg64(0), 2, 2)
+
+
+class TestMakeSubstreams:
+    @pytest.mark.parametrize("scheme", ["keyed", "block", "leapfrog"])
+    def test_deterministic_per_scheme(self, scheme):
+        master_a = Lcg64(5)
+        master_b = Lcg64(5)
+        subs_a = make_substreams(master_a, 4, scheme)
+        subs_b = make_substreams(master_b, 4, scheme)
+        for sa, sb in zip(subs_a, subs_b):
+            assert np.array_equal(sa.random_raw(64), sb.random_raw(64))
+
+    @pytest.mark.parametrize(
+        "gen_cls,scheme",
+        [
+            (Philox4x32, "keyed"),
+            (Philox4x32, "block"),
+            (Lcg64, "keyed"),
+            (Lcg64, "block"),
+            (Lcg64, "leapfrog"),
+            (Xoshiro256StarStar, "keyed"),
+        ],
+    )
+    def test_pairwise_distinct_streams(self, gen_cls, scheme):
+        subs = make_substreams(gen_cls(7), 4, scheme)
+        draws = [s.random_raw(256) for s in subs]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert not np.array_equal(draws[i], draws[j])
+
+    def test_substream_statistics_remain_uniform(self):
+        subs = make_substreams(Philox4x32(9), 3, StreamPartition.KEYED)
+        for s in subs:
+            u = s.uniforms(50_000)
+            assert abs(u.mean() - 0.5) < 0.01
+
+    def test_enum_and_string_equivalent(self):
+        a = make_substreams(Philox4x32(1), 2, StreamPartition.BLOCK)[1].random_raw(8)
+        b = make_substreams(Philox4x32(1), 2, "block")[1].random_raw(8)
+        assert np.array_equal(a, b)
+
+    def test_invalid_nranks(self):
+        with pytest.raises(ValidationError):
+            make_substreams(Philox4x32(0), 0)

@@ -1,0 +1,84 @@
+"""Workload generators: determinism and validity."""
+
+import numpy as np
+import pytest
+
+from repro.market import is_positive_semidefinite
+from repro.workloads import (
+    DIMENSION_SWEEP,
+    LATTICE_STEP_SWEEP,
+    PATH_COUNTS,
+    PROCESSOR_SWEEP,
+    basket_workload,
+    default_machine_specs,
+    rainbow_workload,
+    random_portfolio,
+    spread_workload,
+)
+
+
+class TestNamedWorkloads:
+    @pytest.mark.parametrize("d", DIMENSION_SWEEP)
+    def test_basket_dimensions(self, d):
+        w = basket_workload(d)
+        assert w.dim == d
+        assert w.model.dim == d
+        assert w.payoff.dim == d
+        assert str(d) in w.name
+
+    def test_basket_geometric_variant(self):
+        w = basket_workload(3, geometric=True)
+        assert "geometric" in w.name
+
+    def test_rainbow_has_stulz_parameters(self):
+        w = rainbow_workload()
+        assert w.dim == 2
+        assert w.model.correlation[0, 1] == pytest.approx(0.4)
+
+    def test_spread(self):
+        w = spread_workload()
+        assert w.dim == 2
+        assert w.payoff.strike == pytest.approx(5.0)
+
+    def test_workloads_priceable(self):
+        # Every named workload must run through the MC engine.
+        from repro.mc import MonteCarloEngine
+
+        for w in (basket_workload(2), rainbow_workload(), spread_workload()):
+            r = MonteCarloEngine(5_000, seed=1).price(w.model, w.payoff, w.expiry)
+            assert np.isfinite(r.price) and r.price >= 0
+
+
+class TestRandomPortfolio:
+    def test_deterministic(self):
+        a = random_portfolio(5, seed=3)
+        b = random_portfolio(5, seed=3)
+        for wa, wb in zip(a, b):
+            assert np.allclose(wa.model.spots, wb.model.spots)
+            assert np.allclose(wa.model.correlation, wb.model.correlation)
+
+    def test_seeds_differ(self):
+        a = random_portfolio(3, seed=1)[0]
+        b = random_portfolio(3, seed=2)[0]
+        assert not np.allclose(a.model.spots, b.model.spots)
+
+    def test_all_models_valid(self):
+        for w in random_portfolio(10, dim=5, seed=7):
+            assert is_positive_semidefinite(w.model.correlation)
+            assert np.all(w.model.spots > 0)
+            assert np.all(w.model.vols > 0)
+            assert w.payoff.dim == 5
+
+
+class TestSuites:
+    def test_sweeps_sane(self):
+        assert PROCESSOR_SWEEP[0] == 1
+        assert all(b > a for a, b in zip(PROCESSOR_SWEEP, PROCESSOR_SWEEP[1:]))
+        assert all(n > 0 for n in PATH_COUNTS)
+        assert all(s > 0 for s in LATTICE_STEP_SWEEP)
+
+    def test_machine_specs(self):
+        specs = default_machine_specs()
+        assert {"baseline", "fast-network", "slow-network"} <= set(specs)
+        assert specs["fast-network"].alpha < specs["baseline"].alpha
+        assert specs["slow-network"].beta > specs["baseline"].beta
