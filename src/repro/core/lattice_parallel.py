@@ -28,6 +28,7 @@ from repro.core.work import WorkModel
 from repro.errors import ValidationError
 from repro.lattice.beg import BEGLattice
 from repro.market.gbm import MultiAssetGBM
+from repro.parallel.faults import FaultPlan, FaultPolicy, simulate_recovery
 from repro.parallel.partition import block_partition
 from repro.parallel.simcluster import MachineSpec, SimulatedCluster
 from repro.payoffs.base import Payoff
@@ -45,6 +46,10 @@ class ParallelLatticePricer:
     american : apply early exercise at every level.
     spec : simulated machine parameters.
     work : work-unit model.
+    faults, policy : optional fault plan / failure policy. Values stay
+        bit-identical (the arithmetic is the sequential reference);
+        faults stretch and extend the simulated timeline only, and a
+        permanently lost rank raises (this engine cannot degrade).
     """
 
     def __init__(
@@ -55,6 +60,8 @@ class ParallelLatticePricer:
         spec: MachineSpec | None = None,
         work: WorkModel | None = None,
         record: bool = False,
+        faults: FaultPlan | None = None,
+        policy: FaultPolicy | str | None = None,
     ):
         self.steps = check_positive_int("steps", steps)
         self.american = bool(american)
@@ -63,6 +70,8 @@ class ParallelLatticePricer:
         #: When set, each run's cluster keeps an event trace (result meta
         #: key "cluster"; render with perf.gantt).
         self.record = bool(record)
+        self.faults = faults
+        self.policy = FaultPolicy.parse(policy)
 
     def price(
         self,
@@ -79,7 +88,8 @@ class ParallelLatticePricer:
         n = self.steps
         node_units = self.work.lattice_node_units(d)
         intr_units = self.work.intrinsic_node_units(d)
-        cluster = SimulatedCluster(p, self.spec, record=self.record)
+        cluster = SimulatedCluster(p, self.spec, record=self.record,
+                                   faults=self.faults)
 
         wall0 = time.perf_counter()
         values = lattice.payoff_values(payoff, n)
@@ -115,6 +125,9 @@ class ParallelLatticePricer:
             cluster.halo_exchange(halo_bytes)
         wall = time.perf_counter() - wall0
 
+        fault_report = simulate_recovery(cluster, self.faults, self.policy,
+                                         engine="lattice")
+
         # Root value lives on rank 0; share it (the paper's codes broadcast
         # the final price so every node can report).
         cluster.bcast(8.0, root=0)
@@ -141,6 +154,7 @@ class ParallelLatticePricer:
                 "nodes": nodes,
                 "american": self.american,
                 **({"cluster": cluster} if self.record else {}),
+                **({"fault_report": fault_report} if fault_report else {}),
             },
         )
 

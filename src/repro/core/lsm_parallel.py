@@ -39,6 +39,7 @@ from repro.errors import ValidationError
 from repro.market.gbm import MultiAssetGBM
 from repro.mc.american import polynomial_features
 from repro.mc.statistics import SampleStats
+from repro.parallel.faults import FaultPlan, FaultPolicy, simulate_recovery
 from repro.parallel.partition import block_partition
 from repro.parallel.simcluster import MachineSpec, SimulatedCluster
 from repro.payoffs.base import Payoff
@@ -57,6 +58,9 @@ class ParallelLSMPricer:
     steps : exercise dates.
     degree : regression polynomial degree.
     seed, spec, work : as in the other parallel pricers.
+    faults, policy : optional fault plan / failure policy (simulated
+        timeline only; values stay bit-identical and rank loss raises —
+        the per-date allreduce couples every rank).
     """
 
     def __init__(
@@ -69,6 +73,8 @@ class ParallelLSMPricer:
         spec: MachineSpec | None = None,
         work: WorkModel | None = None,
         min_regression_paths: int = 32,
+        faults: FaultPlan | None = None,
+        policy: FaultPolicy | str | None = None,
     ):
         self.n_paths = check_positive_int("n_paths", n_paths)
         self.steps = check_positive_int("steps", steps)
@@ -79,6 +85,8 @@ class ParallelLSMPricer:
         self.min_regression_paths = check_positive_int(
             "min_regression_paths", min_regression_paths
         )
+        self.faults = faults
+        self.policy = FaultPolicy.parse(policy)
 
     def price(
         self,
@@ -110,7 +118,7 @@ class ParallelLSMPricer:
         cash = payoff.intrinsic(paths[:, -1, :])
         tau = np.full(n, m, dtype=np.int64)
 
-        cluster = SimulatedCluster(p, self.spec)
+        cluster = SimulatedCluster(p, self.spec, faults=self.faults)
         path_units = self.work.mc_path_units(d, m)
         for r, (lo, hi) in enumerate(parts):
             cluster.compute(r, (hi - lo) * path_units)
@@ -160,6 +168,8 @@ class ParallelLSMPricer:
             for r, (lo, hi) in enumerate(parts):
                 cluster.compute(r, (hi - lo) * 2.0)
 
+        fault_report = simulate_recovery(cluster, self.faults, self.policy,
+                                         engine="lsm")
         pv = cash * np.exp(-model.rate * dt * tau)
         partials = [SampleStats.from_values(pv[lo:hi]) for lo, hi in parts]
         merged = cluster.reduce_data(partials, lambda a, b: a.merge(b), 24.0,
@@ -185,7 +195,8 @@ class ParallelLSMPricer:
             bytes_moved=rep["bytes_moved"],
             engine="lsm",
             meta={"steps": m, "degree": self.degree, "basis_size": k,
-                  "n_paths": n},
+                  "n_paths": n,
+                  **({"fault_report": fault_report} if fault_report else {})},
         )
 
     def sweep(self, model, payoff, expiry, p_list) -> list[ParallelRunResult]:

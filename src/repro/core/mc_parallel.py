@@ -35,6 +35,7 @@ from repro.mc.qmc import QMCSobol
 from repro.mc.statistics import CrossStats, SampleStats, StrataStats
 from repro.mc.variance_reduction import PlainMC, Technique
 from repro.parallel.backends import ExecutionBackend, SerialBackend
+from repro.parallel.faults import FaultPlan, FaultPolicy, charge_report, resilient_map
 from repro.parallel.partition import block_sizes
 from repro.parallel.simcluster import MachineSpec, SimulatedCluster
 from repro.payoffs.base import Payoff
@@ -81,6 +82,17 @@ class ParallelMCPricer:
     backend : real execution backend (default serial).
     reduce_topology : "tree" (default) or "linear" — ablated in F7.
     work : work-unit model for simulated compute accounting.
+    faults : optional :class:`~repro.parallel.faults.FaultPlan`; when given
+        (and non-empty), rank tasks run through the resilient map and the
+        run report lands in ``result.meta["fault_report"]``. The fault-free
+        path is untouched (zero overhead, benchmark F13).
+    policy : :class:`~repro.parallel.faults.FaultPolicy` or mode string
+        ("fail_fast" | "retry" | "degrade"); default retry. Under retry,
+        a recovered run is bitwise equal to the fault-free run (each
+        attempt replays a fresh copy of the rank task, so RNG substreams
+        are never consumed twice). Under degrade, exhausted ranks are
+        dropped and the estimator reprices with the survivors — fewer
+        paths, so the reported CI widens honestly.
     """
 
     def __init__(
@@ -96,6 +108,8 @@ class ParallelMCPricer:
         reduce_topology: str = "tree",
         work: WorkModel | None = None,
         record: bool = False,
+        faults: FaultPlan | None = None,
+        policy: FaultPolicy | str | None = None,
     ):
         self.n_paths = check_positive_int("n_paths", n_paths)
         self.technique = technique if technique is not None else PlainMC()
@@ -113,6 +127,8 @@ class ParallelMCPricer:
         #: When set, each run's cluster keeps an event trace and is attached
         #: to the result meta under "cluster" (render with perf.gantt).
         self.record = bool(record)
+        self.faults = faults
+        self.policy = FaultPolicy.parse(policy)
 
     # ------------------------------------------------------------------
 
@@ -171,24 +187,61 @@ class ParallelMCPricer:
                 f"ranks {zero_ranks} would receive zero paths; reduce p or raise n_paths"
             )
 
+        inject = self.faults is not None and not self.faults.is_empty
         wall0 = time.perf_counter()
-        partials = self.backend.map(_rank_task, tasks)
+        if inject:
+            partials, fault_report = resilient_map(
+                self.backend, _rank_task, tasks,
+                plan=self.faults, policy=self.policy,
+            )
+        else:
+            # Fault-free fast path: identical to the pre-resilience code
+            # (one branch of overhead — asserted <5% by benchmark F13).
+            partials = self.backend.map(_rank_task, tasks)
+            fault_report = None
         wall = time.perf_counter() - wall0
 
         # --- simulated machine accounting ---
-        cluster = SimulatedCluster(p, self.spec, record=self.record)
+        cluster = SimulatedCluster(p, self.spec, record=self.record,
+                                   faults=self.faults)
         units = self.work.mc_path_units(model.dim, self.steps)
-        cluster.compute_all([c * units for c in counts])
-        # The partials travel the simulated reduction schedule: the merged
-        # value (including its floating-point association order) is exactly
-        # what the modeled machine's reduce would deliver at rank 0.
-        merged = cluster.reduce_data(
-            partials,
-            lambda a, b: self.technique.combine([a, b]),
-            _partial_nbytes(partials[0]),
-            root=0,
-            topology=self.reduce_topology,
-        )
+        if fault_report is None:
+            cluster.compute_all([c * units for c in counts])
+        else:
+            # Recovery first (wasted attempts + backoff), then the charge
+            # for the attempt that finally succeeded; lost ranks only ever
+            # burned fault time.
+            base_seconds = [
+                counts[r] * units * self.spec.flop_time * self.faults.slowdown(r)
+                for r in range(p)
+            ]
+            charge_report(cluster, fault_report, base_seconds, self.policy)
+            for r in range(p):
+                if r not in fault_report.lost_ranks:
+                    cluster.compute(r, counts[r] * units)
+
+        if fault_report is not None and fault_report.lost_ranks:
+            # Degraded repricing: merge the survivors in rank order and
+            # charge the reduction schedule; the estimator sees fewer
+            # paths, so its standard error (the reported CI) widens.
+            survivors = [partials[r] for r in range(p)
+                         if r not in fault_report.lost_ranks]
+            merged = self.technique.combine(survivors)
+            cluster.reduce(_partial_nbytes(survivors[0]), root=0,
+                           topology=self.reduce_topology)
+        else:
+            # The partials travel the simulated reduction schedule: the
+            # merged value (including its floating-point association order)
+            # is exactly what the modeled machine's reduce would deliver at
+            # rank 0. Shared by the fault-free and fully-recovered paths,
+            # so a retry-recovered price equals the fault-free one bitwise.
+            merged = cluster.reduce_data(
+                partials,
+                lambda a, b: self.technique.combine([a, b]),
+                _partial_nbytes(partials[0]),
+                root=0,
+                topology=self.reduce_topology,
+            )
         price, stderr, n_eff = self.technique.finalize(merged)
         rep = cluster.report()
         return ParallelRunResult(
@@ -210,6 +263,15 @@ class ParallelMCPricer:
                 "reduce_topology": self.reduce_topology,
                 "counts": counts,
                 **({"cluster": cluster} if self.record else {}),
+                **(
+                    {
+                        "fault_report": fault_report,
+                        "degraded": fault_report.degraded,
+                        "lost_ranks": fault_report.lost_ranks,
+                    }
+                    if fault_report is not None
+                    else {}
+                ),
             },
         )
 

@@ -30,6 +30,7 @@ from repro.core.result import ParallelRunResult
 from repro.core.work import WorkModel
 from repro.errors import ValidationError
 from repro.market.gbm import MultiAssetGBM
+from repro.parallel.faults import FaultPlan, FaultPolicy, simulate_recovery
 from repro.parallel.partition import block_partition
 from repro.parallel.simcluster import MachineSpec, SimulatedCluster
 from repro.pde.adi2d import ADISolver
@@ -48,6 +49,8 @@ class ParallelPDEPricer:
     n_time : time steps.
     american : project onto the obstacle after each full step.
     spec, work : simulated machine and work models.
+    faults, policy : optional fault plan / failure policy (simulated
+        timeline only; values stay bit-identical and rank loss raises).
     """
 
     def __init__(
@@ -59,6 +62,8 @@ class ParallelPDEPricer:
         spec: MachineSpec | None = None,
         work: WorkModel | None = None,
         record: bool = False,
+        faults: FaultPlan | None = None,
+        policy: FaultPolicy | str | None = None,
     ):
         self.n_space = check_positive_int("n_space", n_space)
         self.n_time = check_positive_int("n_time", n_time)
@@ -68,6 +73,8 @@ class ParallelPDEPricer:
         #: When set, each run's cluster keeps an event trace (result meta
         #: key "cluster"; render with perf.gantt).
         self.record = bool(record)
+        self.faults = faults
+        self.policy = FaultPolicy.parse(policy)
 
     def _parallel_step(
         self, solver: ADISolver, v: np.ndarray, p: int, cluster: SimulatedCluster,
@@ -130,13 +137,16 @@ class ParallelPDEPricer:
         mesh = np.stack(np.meshgrid(sx, sy, indexing="ij"), axis=-1).reshape(-1, 2)
         values = payoff.terminal(mesh).reshape(sx.size, sy.size)
         obstacle = values.copy() if self.american else None
-        cluster = SimulatedCluster(p, self.spec, record=self.record)
+        cluster = SimulatedCluster(p, self.spec, record=self.record,
+                                   faults=self.faults)
 
         wall0 = time.perf_counter()
         for _ in range(self.n_time):
             values = self._parallel_step(solver, values, p, cluster, obstacle)
         wall = time.perf_counter() - wall0
 
+        fault_report = simulate_recovery(cluster, self.faults, self.policy,
+                                         engine="pde")
         cluster.bcast(8.0, root=0)
         i, j = solver.grid_x.spot_index, solver.grid_y.spot_index
         price = float(values[i, j])
@@ -158,6 +168,7 @@ class ParallelPDEPricer:
                 "n_time": self.n_time,
                 "american": self.american,
                 **({"cluster": cluster} if self.record else {}),
+                **({"fault_report": fault_report} if fault_report else {}),
             },
         )
 

@@ -12,6 +12,8 @@ partition failures by subsystem:
 * :class:`PartitionError` — a work-partitioning request that cannot be
   satisfied (zero workers, negative work, ...).
 * :class:`BackendError` — failures in a parallel execution backend.
+* :class:`FaultError` — an injected or detected fault that the active
+  failure policy could not (or was told not to) recover from.
 * :class:`StabilityError` — a finite-difference scheme was configured
   outside its stability region.
 """
@@ -25,6 +27,7 @@ __all__ = [
     "ConvergenceError",
     "PartitionError",
     "BackendError",
+    "FaultError",
     "StabilityError",
 ]
 
@@ -62,6 +65,15 @@ class PartitionError(ReproError, ValueError):
 
 class BackendError(ReproError, RuntimeError):
     """Raised when a parallel execution backend fails."""
+
+
+class FaultError(ReproError, RuntimeError):
+    """Raised when a fault exceeds the active failure policy's budget.
+
+    Under ``fail_fast`` any fault raises; under ``retry`` a rank whose
+    retry budget is exhausted raises; under ``degrade`` losing *every*
+    rank raises (there is nothing left to reprice with).
+    """
 
 
 class StabilityError(ReproError):

@@ -12,6 +12,10 @@ Three layers:
   the machine on which the paper-style ``T(P)``/speedup/efficiency curves
   are generated deterministically (this repo substitutes it for the
   paper's 2002 hardware; see DESIGN.md).
+* :mod:`~repro.parallel.faults` — deterministic, seeded fault injection
+  (crashes, stragglers, dropped/corrupted results) plus the resilience
+  plumbing: failure policies (fail-fast / retry-with-backoff / degrade),
+  a resilient map over any backend, and byte-reproducible run reports.
 """
 
 from repro.parallel.partition import (
@@ -28,6 +32,17 @@ from repro.parallel.backends import (
     ProcessBackend,
 )
 from repro.parallel.simcluster import MachineSpec, SimulatedCluster
+from repro.parallel.faults import (
+    FaultKind,
+    FaultEvent,
+    FaultPlan,
+    FaultPolicy,
+    RankAttempt,
+    RunReport,
+    resilient_map,
+    plan_report,
+    charge_report,
+)
 from repro.parallel.collectives import (
     tree_reduce_time,
     linear_reduce_time,
@@ -48,6 +63,15 @@ __all__ = [
     "ProcessBackend",
     "MachineSpec",
     "SimulatedCluster",
+    "FaultKind",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultPolicy",
+    "RankAttempt",
+    "RunReport",
+    "resilient_map",
+    "plan_report",
+    "charge_report",
     "tree_reduce_time",
     "linear_reduce_time",
     "bcast_time",

@@ -12,6 +12,12 @@ returns the per-rank results in rank order. Three implementations:
   multi-core execution. The worker and its task must be picklable
   (the parallel pricers use module-level workers for this reason).
 
+Every backend is an idempotent context manager: ``close()`` may be called
+any number of times, ``with make_backend(...) as b: ...`` always releases
+pooled resources (including after a worker crash — the process pool is
+terminated rather than joined if its last ``map`` raised), and mapping on
+a closed backend raises :class:`~repro.errors.BackendError`.
+
 Experiment F9 runs the same pricing job on all three and compares
 wall-clock against the simulated curve — on the single-core CI box the
 real backends show flat speedup, which is itself a documented result
@@ -32,9 +38,16 @@ __all__ = ["ExecutionBackend", "SerialBackend", "ThreadBackend", "ProcessBackend
 
 
 class ExecutionBackend(abc.ABC):
-    """Maps a worker over rank tasks, preserving rank order."""
+    """Maps a worker over rank tasks, preserving rank order.
+
+    Lifecycle contract (held by every subclass and asserted in tests):
+    ``close()`` is idempotent, the backend is a reusable-until-closed
+    context manager, and :meth:`map` after :meth:`close` raises
+    :class:`BackendError` instead of silently recreating pools.
+    """
 
     name: str = "backend"
+    _closed: bool = False
 
     @abc.abstractmethod
     def map(self, worker: Callable, tasks: Sequence) -> list:
@@ -42,6 +55,23 @@ class ExecutionBackend(abc.ABC):
 
     def close(self) -> None:
         """Release pooled resources (idempotent)."""
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise BackendError(f"{self.name} backend is closed")
+
+    def __enter__(self) -> "ExecutionBackend":
+        self._check_open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
 
 class SerialBackend(ExecutionBackend):
@@ -50,6 +80,7 @@ class SerialBackend(ExecutionBackend):
     name = "serial"
 
     def map(self, worker: Callable, tasks: Sequence) -> list:
+        self._check_open()
         return [worker(t) for t in tasks]
 
 
@@ -69,6 +100,7 @@ class ThreadBackend(ExecutionBackend):
         return self._pool
 
     def map(self, worker: Callable, tasks: Sequence) -> list:
+        self._check_open()
         pool = self._ensure_pool()
         return list(pool.map(worker, tasks))
 
@@ -76,13 +108,16 @@ class ThreadBackend(ExecutionBackend):
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        super().close()
 
 
 class ProcessBackend(ExecutionBackend):
     """Fork-based process pool (true multi-core when cores exist).
 
     Workers and tasks must be picklable; pools are created lazily and
-    reused across :meth:`map` calls.
+    reused across :meth:`map` calls. If a ``map`` raises, the pool is
+    marked broken and :meth:`close` terminates the workers instead of
+    joining them, so a crashed map never leaks child processes.
     """
 
     name = "process"
@@ -91,6 +126,7 @@ class ProcessBackend(ExecutionBackend):
         workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
         self.max_workers = check_positive_int("max_workers", workers)
         self._pool = None
+        self._broken = False
 
     def _ensure_pool(self):
         if self._pool is None:
@@ -101,20 +137,27 @@ class ProcessBackend(ExecutionBackend):
             except ValueError as exc:  # pragma: no cover - non-POSIX
                 raise BackendError("ProcessBackend requires a fork-capable platform") from exc
             self._pool = ctx.Pool(processes=self.max_workers)
+            self._broken = False
         return self._pool
 
     def map(self, worker: Callable, tasks: Sequence) -> list:
+        self._check_open()
         pool = self._ensure_pool()
         try:
             return pool.map(worker, list(tasks))
         except Exception as exc:
+            self._broken = True
             raise BackendError(f"process pool execution failed: {exc}") from exc
 
     def close(self) -> None:
         if self._pool is not None:
-            self._pool.close()
+            if self._broken:
+                self._pool.terminate()
+            else:
+                self._pool.close()
             self._pool.join()
             self._pool = None
+        super().close()
 
     def __del__(self):  # pragma: no cover - GC timing dependent
         try:

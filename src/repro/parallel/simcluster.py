@@ -23,6 +23,16 @@ Model
 The cluster also keeps per-rank accounting of compute vs communication
 seconds and message/byte counters, which the perf harness turns into the
 overhead columns of the evaluation tables.
+
+Fault model
+-----------
+A :class:`~repro.parallel.faults.FaultPlan` can be attached at
+construction. The cluster consumes it deterministically: straggler events
+stretch the affected rank's :meth:`compute` charges by their slowdown
+factor, and recovery costs (wasted attempts, retry backoff) are charged by
+:func:`repro.parallel.faults.charge_report` under the dedicated ``fault``
+account, so faulty timelines stay byte-reproducible and render with their
+own glyph in the Gantt view.
 """
 
 from __future__ import annotations
@@ -69,6 +79,7 @@ class _RankAccount:
     compute: float = 0.0
     comm: float = 0.0
     idle: float = 0.0
+    fault: float = 0.0
 
 
 class SimulatedCluster:
@@ -84,7 +95,7 @@ class SimulatedCluster:
     """
 
     def __init__(self, p: int, spec: MachineSpec | None = None, *,
-                 record: bool = False):
+                 record: bool = False, faults=None):
         self.p = check_positive_int("p", p)
         self.spec = spec if spec is not None else MachineSpec()
         self.clocks = np.zeros(self.p, dtype=float)
@@ -92,10 +103,19 @@ class SimulatedCluster:
         self.messages = 0
         self.bytes_moved = 0.0
         #: Optional event trace: (rank, t_start, t_end, kind) tuples with
-        #: kind ∈ {"compute", "comm", "idle"}. Rendered by
+        #: kind ∈ {"compute", "comm", "idle", "fault"}. Rendered by
         #: :func:`repro.perf.gantt.render_gantt`.
         self.record = bool(record)
         self.trace: list[tuple[int, float, float, str]] = []
+        #: Optional :class:`~repro.parallel.faults.FaultPlan`; straggler
+        #: events stretch the affected rank's compute charges.
+        self.faults = faults
+        if faults is not None and not faults.is_empty:
+            self._slowdowns = np.array(
+                [faults.slowdown(r) for r in range(self.p)], dtype=float
+            )
+        else:
+            self._slowdowns = None
 
     def _log(self, rank: int, t0: float, t1: float, kind: str) -> None:
         if self.record and t1 > t0:
@@ -108,11 +128,14 @@ class SimulatedCluster:
             raise ValidationError(f"rank must lie in [0, {self.p}), got {rank}")
 
     def compute(self, rank: int, units: float) -> None:
-        """Advance ``rank``'s clock by ``units`` work units."""
+        """Advance ``rank``'s clock by ``units`` work units (stretched by
+        the rank's straggler slowdown when a fault plan is attached)."""
         self._check_rank(rank)
         if units < 0:
             raise ValidationError(f"work units must be non-negative, got {units}")
         dt = units * self.spec.flop_time
+        if self._slowdowns is not None:
+            dt *= self._slowdowns[rank]
         self._log(rank, self.clocks[rank], self.clocks[rank] + dt, "compute")
         self.clocks[rank] += dt
         self.accounts[rank].compute += dt
@@ -194,6 +217,7 @@ class SimulatedCluster:
         self._check_rank(rank)
         if seconds < 0:
             raise ValidationError(f"delay must be non-negative, got {seconds}")
+        self._log(rank, self.clocks[rank], self.clocks[rank] + seconds, kind)
         self.clocks[rank] += seconds
         if kind == "comm":
             self.accounts[rank].comm += seconds
@@ -201,6 +225,8 @@ class SimulatedCluster:
             self.accounts[rank].compute += seconds
         elif kind == "idle":
             self.accounts[rank].idle += seconds
+        elif kind == "fault":
+            self.accounts[rank].fault += seconds
         else:
             raise ValidationError(f"unknown account kind {kind!r}")
 
@@ -332,6 +358,11 @@ class SimulatedCluster:
         """Max per-rank idle (load-imbalance wait) seconds."""
         return max(a.idle for a in self.accounts)
 
+    @property
+    def fault_time(self) -> float:
+        """Max per-rank seconds lost to failed attempts (recovery cost)."""
+        return max(a.fault for a in self.accounts)
+
     def report(self) -> dict:
         """Summary dict used by the perf harness."""
         return {
@@ -340,6 +371,7 @@ class SimulatedCluster:
             "compute_time": self.compute_time,
             "comm_time": self.comm_time,
             "idle_time": self.idle_time,
+            "fault_time": self.fault_time,
             "messages": self.messages,
             "bytes_moved": self.bytes_moved,
         }

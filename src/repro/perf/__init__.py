@@ -20,9 +20,12 @@ from repro.perf.laws import (
 from repro.perf.isoefficiency import isoefficiency_curve, solve_problem_size
 from repro.perf.experiment import ScalingExperiment
 from repro.perf.gantt import render_gantt
+from repro.perf.reporting import run_report_to_csv, run_report_to_markdown
 
 __all__ = [
     "render_gantt",
+    "run_report_to_csv",
+    "run_report_to_markdown",
     "Timer",
     "time_callable",
     "ScalingSeries",

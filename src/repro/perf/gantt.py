@@ -4,13 +4,14 @@ Turn on tracing with ``SimulatedCluster(p, record=True)``; after a run,
 :func:`render_gantt` draws one timeline row per rank:
 
     rank 0 |################~~....|
-    rank 1 |########..~~~~~~~~....|
+    rank 1 |####xxxx####..~~~~....|
 
-``#`` compute, ``~`` communication, ``.`` idle/wait, space = before any
+``#`` compute, ``~`` communication, ``.`` idle/wait, ``x`` fault-recovery
+(wasted attempts charged by the resilience layer), space = before any
 recorded activity. The picture makes the engines' signatures visible at a
 glance: MC rows are solid ``#`` with a sliver of ``~`` at the end; the
 lattice alternates ``#``/``~`` every level; ADI shows the broad ``~``
-all-to-all bands.
+all-to-all bands; a chaos run shows ``x`` bands on the faulted ranks.
 """
 
 from __future__ import annotations
@@ -22,7 +23,7 @@ from repro.utils.validation import check_positive_int
 
 __all__ = ["render_gantt"]
 
-_GLYPHS = {"compute": "#", "comm": "~", "idle": "."}
+_GLYPHS = {"compute": "#", "comm": "~", "idle": ".", "fault": "x"}
 
 
 def render_gantt(cluster, *, width: int = 72, show_scale: bool = True) -> str:
@@ -42,7 +43,7 @@ def render_gantt(cluster, *, width: int = 72, show_scale: bool = True) -> str:
         return "\n".join(f"rank {r:<3d}|{' ' * width}|" for r in range(cluster.p))
 
     # occupancy[rank, column, kind-index] = seconds of that kind in the bin
-    kinds = ("compute", "comm", "idle")
+    kinds = ("compute", "comm", "idle", "fault")
     occupancy = np.zeros((cluster.p, width, len(kinds)))
     scale = width / horizon
     for rank, t0, t1, kind in cluster.trace:
@@ -68,5 +69,5 @@ def render_gantt(cluster, *, width: int = 72, show_scale: bool = True) -> str:
         lines.append(f"rank {r:<3d}|{''.join(row)}|")
     if show_scale:
         lines.append(f"        0{' ' * (width - 10)}{horizon:.4g}s")
-        lines.append("        # compute   ~ communication   . idle")
+        lines.append("        # compute   ~ communication   . idle   x fault")
     return "\n".join(lines)

@@ -14,10 +14,18 @@ import io
 from pathlib import Path
 
 from repro.errors import ValidationError
+from repro.parallel.faults import RunReport
 from repro.perf.metrics import ScalingSeries
 from repro.utils.formatting import Table
 
-__all__ = ["table_to_csv", "table_to_markdown", "series_to_csv", "write_text"]
+__all__ = [
+    "table_to_csv",
+    "table_to_markdown",
+    "series_to_csv",
+    "run_report_to_csv",
+    "run_report_to_markdown",
+    "write_text",
+]
 
 
 def table_to_csv(table: Table) -> str:
@@ -63,6 +71,39 @@ def series_to_csv(series: ScalingSeries) -> str:
                           series.efficiencies):
         writer.writerow([p, repr(float(t)), repr(float(s)), repr(float(e))])
     return buf.getvalue()
+
+
+def run_report_to_csv(report: RunReport) -> str:
+    """Export a fault :class:`RunReport` as a per-attempt CSV ledger."""
+    if not isinstance(report, RunReport):
+        raise ValidationError("run_report_to_csv expects a faults.RunReport")
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(["rank", "attempt", "outcome", "backoff_s", "lost"])
+    for a in sorted(report.attempts, key=lambda x: (x.rank, x.attempt)):
+        writer.writerow([a.rank, a.attempt, a.outcome, repr(float(a.backoff)),
+                         int(a.rank in report.lost_ranks)])
+    return buf.getvalue()
+
+
+def run_report_to_markdown(report: RunReport) -> str:
+    """Render a fault :class:`RunReport` as a Markdown table with summary."""
+    if not isinstance(report, RunReport):
+        raise ValidationError("run_report_to_markdown expects a faults.RunReport")
+    lines = [
+        f"**Fault report ({report.summary()})**",
+        "",
+        "| rank | attempt | outcome | backoff (s) | detail |",
+        "| --- | --- | --- | --- | --- |",
+    ]
+    for a in sorted(report.attempts, key=lambda x: (x.rank, x.attempt)):
+        lines.append(
+            f"| {a.rank} | {a.attempt} | {a.outcome} | {a.backoff:g} | {a.detail} |"
+        )
+    if report.lost_ranks:
+        lines.append("")
+        lines.append(f"Lost ranks (degraded run): {list(report.lost_ranks)}")
+    return "\n".join(lines)
 
 
 def write_text(path: str | Path, content: str) -> Path:

@@ -100,3 +100,108 @@ class TestFactory:
     def test_unknown_backend(self):
         with pytest.raises(ValidationError):
             make_backend("gpu")
+
+
+class TestLifecycle:
+    """close() is idempotent, backends are context managers, and a closed
+    backend refuses to map."""
+
+    @pytest.mark.parametrize("factory", [
+        SerialBackend,
+        lambda: ThreadBackend(2),
+        lambda: ProcessBackend(2),
+    ])
+    def test_context_manager_maps_then_closes(self, factory):
+        with factory() as backend:
+            assert backend.map(_square, [2, 3]) == [4, 9]
+            assert not backend.closed
+        assert backend.closed
+
+    @pytest.mark.parametrize("factory", [
+        SerialBackend,
+        lambda: ThreadBackend(1),
+        lambda: ProcessBackend(1),
+    ])
+    def test_map_after_close_raises(self, factory):
+        from repro.errors import BackendError
+
+        backend = factory()
+        backend.close()
+        backend.close()  # idempotent
+        with pytest.raises(BackendError, match="closed"):
+            backend.map(_square, [1])
+
+    def test_reentering_closed_backend_raises(self):
+        from repro.errors import BackendError
+
+        backend = SerialBackend()
+        backend.close()
+        with pytest.raises(BackendError):
+            with backend:
+                pass
+
+    @pytest.mark.skipif(os.name != "posix", reason="fork backend is POSIX-only")
+    def test_process_backend_leaks_no_workers_after_crashed_map(self):
+        import multiprocessing
+
+        from repro.errors import BackendError
+
+        before = {p.pid for p in multiprocessing.active_children()}
+        backend = ProcessBackend(2)
+        with pytest.raises(BackendError):
+            backend.map(_raise, [1, 2])
+        backend.close()  # must terminate, not hang, after the crash
+        backend.close()
+        leaked = [
+            p for p in multiprocessing.active_children()
+            if p.pid not in before
+        ]
+        for p in leaked:
+            p.join(timeout=5)
+        leaked = [
+            p for p in multiprocessing.active_children()
+            if p.pid not in before
+        ]
+        assert leaked == []
+
+
+class TestCrossBackendDeterminism:
+    """The paper's speedup claims require every backend to compute the same
+    answer: MC prices must be *bitwise* identical across serial, thread and
+    process execution — and stay identical when the retry path replays a
+    rank (guarding against RNG substream double-consumption)."""
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        from repro.workloads import basket_workload
+
+        return basket_workload(3)
+
+    def _mc_price(self, w, backend, **kwargs):
+        from repro.core import ParallelMCPricer
+
+        pricer = ParallelMCPricer(6_000, seed=13, backend=backend, **kwargs)
+        return pricer.price(w.model, w.payoff, w.expiry, 4)
+
+    def test_mc_price_bitwise_identical_across_backends(self, workload):
+        with SerialBackend() as serial:
+            ref = self._mc_price(workload, serial)
+        for factory in (lambda: ThreadBackend(2), lambda: ProcessBackend(2)):
+            with factory() as backend:
+                res = self._mc_price(workload, backend)
+            assert res.price == ref.price, backend.name
+            assert res.stderr == ref.stderr, backend.name
+
+    def test_retry_path_matches_fault_free_on_all_backends(self, workload):
+        from repro.parallel import FaultEvent, FaultKind, FaultPlan
+
+        with SerialBackend() as serial:
+            ref = self._mc_price(workload, serial)
+        plan = FaultPlan(events=(FaultEvent(0, FaultKind.CRASH),
+                                 FaultEvent(3, FaultKind.CORRUPT)))
+        for factory in (SerialBackend, lambda: ThreadBackend(2),
+                        lambda: ProcessBackend(2)):
+            with factory() as backend:
+                res = self._mc_price(workload, backend, faults=plan,
+                                     policy="retry")
+            assert res.price == ref.price, backend.name

@@ -99,3 +99,48 @@ class TestDelay:
     def test_negative_rejected(self):
         with pytest.raises(ValidationError):
             SimulatedCluster(1).delay(0, -1.0)
+
+
+class TestReductionPermutationInvariance:
+    """Reduction results must not depend on which rank holds which shard —
+    the property that lets the resilience layer re-map work after faults
+    without changing the answer."""
+
+    @pytest.mark.parametrize("p", range(1, 17))
+    @pytest.mark.parametrize("topology", ["tree", "linear"])
+    def test_integer_sum_invariant_under_rank_permutation(self, p, topology):
+        rng = np.random.default_rng(p)
+        payloads = rng.integers(-1000, 1000, size=p).tolist()
+        base = SimulatedCluster(p).reduce_data(
+            list(payloads), lambda a, b: a + b, 8, topology=topology)
+        for _ in range(3):
+            perm = rng.permutation(p)
+            shuffled = [payloads[i] for i in perm]
+            out = SimulatedCluster(p).reduce_data(
+                shuffled, lambda a, b: a + b, 8, topology=topology)
+            assert out == base  # exact: integer addition is associative
+
+    @pytest.mark.parametrize("p", range(2, 17, 3))
+    def test_sample_stats_invariant_under_rank_permutation(self, p):
+        rng = np.random.default_rng(p)
+        parts = [SampleStats.from_values(rng.normal(size=50 + r))
+                 for r in range(p)]
+        base = SimulatedCluster(p).reduce_data(
+            list(parts), lambda a, b: a.merge(b), 24)
+        perm = rng.permutation(p)
+        out = SimulatedCluster(p).reduce_data(
+            [parts[i] for i in perm], lambda a, b: a.merge(b), 24)
+        # float merge order differs ⇒ approximate, but tight
+        assert out.n == base.n
+        assert out.total == pytest.approx(base.total, rel=1e-12)
+        assert out.mean == pytest.approx(base.mean, rel=1e-12)
+        assert out.variance == pytest.approx(base.variance, rel=1e-9)
+
+    @pytest.mark.parametrize("p", range(1, 17))
+    def test_tree_and_linear_topologies_agree_exactly_on_ints(self, p):
+        payloads = list(range(p))
+        tree = SimulatedCluster(p).reduce_data(
+            list(payloads), lambda a, b: a + b, 8, topology="tree")
+        linear = SimulatedCluster(p).reduce_data(
+            list(payloads), lambda a, b: a + b, 8, topology="linear")
+        assert tree == linear == p * (p - 1) // 2

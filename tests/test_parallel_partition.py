@@ -95,3 +95,54 @@ class TestBlockCyclic:
     def test_validation(self):
         with pytest.raises(PartitionError):
             block_cyclic_indices(10, 2, 0, 0)
+
+
+class TestExactOnceEveryP:
+    """Exhaustive (non-sampled) coverage checks for every P a degraded run
+    can shrink to: after the resilience layer drops ranks, the survivors
+    re-partition the same work and must still cover it exactly once."""
+
+    @pytest.mark.parametrize("p", range(1, 17))
+    @pytest.mark.parametrize("n", [0, 1, 16, 97])
+    def test_block_covers_exactly_once(self, n, p):
+        seen = [0] * n
+        for start, stop in block_partition(n, p):
+            for i in range(start, stop):
+                seen[i] += 1
+        assert all(count == 1 for count in seen)
+
+    @pytest.mark.parametrize("p", range(1, 17))
+    @pytest.mark.parametrize("n", [0, 1, 16, 97])
+    def test_cyclic_covers_exactly_once(self, n, p):
+        counts = np.zeros(n, dtype=int)
+        for r in range(p):
+            counts[cyclic_indices(n, p, r)] += 1
+        assert (counts == 1).all()
+
+    @pytest.mark.parametrize("p", range(1, 17))
+    @pytest.mark.parametrize("block", [1, 3, 8])
+    def test_block_cyclic_covers_exactly_once(self, p, block):
+        n = 97
+        counts = np.zeros(n, dtype=int)
+        for r in range(p):
+            counts[block_cyclic_indices(n, p, r, block)] += 1
+        assert (counts == 1).all()
+
+    @pytest.mark.parametrize("p", range(2, 17))
+    def test_survivor_repartition_still_covers(self, p):
+        """Degrade policy drops a rank and reprices on p-1 survivors; the
+        fresh partition over the survivors must again tile the work."""
+        n = 1000
+        parts = block_partition(n, p - 1)
+        covered = [i for start, stop in parts for i in range(start, stop)]
+        assert covered == list(range(n))
+        assert sum(block_sizes(n, p - 1)) == n
+
+    @given(st.integers(0, 3000), st.integers(1, 16))
+    def test_schemes_partition_same_totals(self, n, p):
+        """All three layouts distribute the same total work, whatever the
+        per-rank shapes look like."""
+        block_total = sum(block_sizes(n, p))
+        cyclic_total = sum(len(cyclic_indices(n, p, r)) for r in range(p))
+        bc_total = sum(len(block_cyclic_indices(n, p, r, 4)) for r in range(p))
+        assert block_total == cyclic_total == bc_total == n

@@ -171,9 +171,10 @@ class TestReport:
         rep = c.report()
         assert set(rep) == {
             "p", "elapsed", "compute_time", "comm_time", "idle_time",
-            "messages", "bytes_moved",
+            "fault_time", "messages", "bytes_moved",
         }
         assert rep["elapsed"] >= rep["compute_time"]
+        assert rep["fault_time"] == 0.0  # no fault plan attached
 
     def test_single_rank_never_communicates(self):
         c = SimulatedCluster(1)
@@ -185,3 +186,40 @@ class TestReport:
         c.halo_exchange(8)
         assert c.comm_time == 0.0
         assert c.messages == 0
+
+
+class TestFaultsOnCluster:
+    """Fault-plan consumption: straggler stretch, the fault account."""
+
+    def test_straggler_stretches_compute(self):
+        from repro.parallel import FaultEvent, FaultKind, FaultPlan
+
+        plan = FaultPlan(events=(FaultEvent(1, FaultKind.STRAGGLER, slowdown=2.5),))
+        base = SimulatedCluster(2)
+        slow = SimulatedCluster(2, faults=plan)
+        for c in (base, slow):
+            c.compute(0, 1000)
+            c.compute(1, 1000)
+        assert slow.clocks[0] == base.clocks[0]
+        assert slow.clocks[1] == pytest.approx(2.5 * base.clocks[1])
+        assert slow.elapsed() > base.elapsed()
+
+    def test_empty_plan_is_free(self):
+        from repro.parallel import FaultPlan
+
+        base = SimulatedCluster(2)
+        with_plan = SimulatedCluster(2, faults=FaultPlan.none())
+        for c in (base, with_plan):
+            c.compute(0, 500)
+            c.reduce(24)
+        assert with_plan.elapsed() == base.elapsed()
+        assert with_plan.report() == base.report()
+
+    def test_fault_delay_kind_accounted(self):
+        c = SimulatedCluster(2, record=True)
+        c.delay(0, 0.25, kind="fault")
+        assert c.fault_time == 0.25
+        assert c.report()["fault_time"] == 0.25
+        assert (0, 0.0, 0.25, "fault") in c.trace
+        # elapsed advances with the faulted rank's clock
+        assert c.elapsed() == 0.25
