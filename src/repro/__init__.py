@@ -29,6 +29,7 @@ Subpackages
 ``repro.parallel``  partitioners, backends, simulated cluster
 ``repro.core``      the parallel pricers (the paper's contribution)
 ``repro.perf``      speedup/efficiency/isoefficiency harness
+``repro.obs``       tracing + metrics (Perfetto traces, snapshots)
 ``repro.workloads`` seeded synthetic workloads
 """
 
@@ -86,9 +87,11 @@ from repro.core import (
     ParallelMCPricer,
     ParallelLatticePricer,
     ParallelPDEPricer,
+    ParallelLSMPricer,
     ParallelRunResult,
     WorkModel,
 )
+from repro.obs import MetricsRegistry, Tracer, write_chrome_trace
 from repro.perf import ScalingSeries, ScalingExperiment
 from repro.rng import Lcg64, Xoshiro256StarStar, Philox4x32, SobolSequence
 
@@ -148,8 +151,12 @@ __all__ = [
     "ParallelMCPricer",
     "ParallelLatticePricer",
     "ParallelPDEPricer",
+    "ParallelLSMPricer",
     "ParallelRunResult",
     "WorkModel",
+    "Tracer",
+    "MetricsRegistry",
+    "write_chrome_trace",
     "ScalingSeries",
     "ScalingExperiment",
     "Lcg64",

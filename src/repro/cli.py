@@ -1,13 +1,18 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands cover the library's headline flows without writing code:
+Four commands cover the library's headline flows without writing code:
 
 * ``price`` — price one contract with the MC engine and a confidence
   interval (optionally against the matching closed form);
 * ``scaling`` — run a strong-scaling sweep of one parallel engine on the
-  simulated machine and print the full diagnostic table;
+  simulated machine and print the full diagnostic table (optionally
+  emitting a Chrome trace of the largest run via ``--emit-trace``);
 * ``portfolio`` — price a seeded random book under each scheduling policy
-  and compare makespans.
+  and compare makespans;
+* ``trace`` — run one parallel pricing job with the tracer attached and
+  write a Perfetto-loadable ``<out>.trace.json`` plus a canonical
+  ``<out>.metrics.json`` snapshot (optionally under an injected fault
+  plan — the chaos-trace workflow from docs/tutorial).
 
 The functions return an exit code and print to stdout, so they are unit-
 testable without subprocesses.
@@ -54,6 +59,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_scale.add_argument("--beta", type=float, default=1e-8,
                          help="per-byte cost [s/B]")
     p_scale.add_argument("--seed", type=int, default=0)
+    p_scale.add_argument("--emit-trace", metavar="PREFIX", default=None,
+                         help="after the sweep, re-run the largest P with the "
+                              "tracer on and write PREFIX.trace.json + "
+                              "PREFIX.metrics.json")
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run one traced parallel pricing job; write Chrome-trace JSON "
+             "(load in Perfetto / chrome://tracing) and a metrics snapshot",
+    )
+    p_trace.add_argument("--engine", choices=("mc", "lattice", "pde", "lsm"),
+                         default="mc")
+    p_trace.add_argument("--p", type=int, default=8,
+                         help="simulated processor count")
+    p_trace.add_argument("--paths", type=int, default=20_000)
+    p_trace.add_argument("--steps", type=int, default=64)
+    p_trace.add_argument("--grid", type=int, default=64)
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument("--out", default="trace_out/run",
+                         help="output prefix (writes <out>.trace.json and "
+                              "<out>.metrics.json)")
+    p_trace.add_argument("--backend", choices=("serial", "thread", "process"),
+                         default="serial",
+                         help="real execution backend for the MC engine; "
+                              "non-serial backends also write a wall-clock "
+                              "<out>.workers.trace.json of per-worker task "
+                              "spans")
+    p_trace.add_argument("--fault-seed", type=int, default=None,
+                         help="draw a FaultPlan from this seed (chaos trace); "
+                              "omit for a fault-free run")
+    p_trace.add_argument("--crash-rate", type=float, default=0.25)
+    p_trace.add_argument("--straggler-rate", type=float, default=0.25)
+    p_trace.add_argument("--policy", choices=("fail_fast", "retry", "degrade"),
+                         default="retry")
 
     p_book = sub.add_parser("portfolio", help="schedule a random book and "
                                               "compare policies")
@@ -119,6 +158,106 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
         label = f"ADI PDE — spread call, {args.grid}² grid"
     exp = ScalingExperiment(pricer, w.model, w.payoff, w.expiry, label=label)
     print(exp.report(p_list))
+    if args.emit_trace:
+        from repro.obs import Tracer
+
+        # Re-run the largest configuration with the tracer attached; the
+        # sweep itself stays untraced so its timings are undisturbed.
+        pricer.tracer = Tracer()
+        pricer.record = True
+        result = pricer.price(w.model, w.payoff, w.expiry, max(p_list))
+        print()
+        _write_trace_artifacts(pricer.tracer, result, args.emit_trace)
+    return 0
+
+
+def _write_trace_artifacts(tracer, result, out_prefix: str) -> None:
+    """Write ``<prefix>.trace.json`` + ``<prefix>.metrics.json`` for one
+    traced run and print the span summary."""
+    from repro.obs import metrics_from_report, metrics_from_run, summary_table, write_chrome_trace
+    from repro.perf.reporting import write_text
+
+    trace_path = write_chrome_trace(tracer, f"{out_prefix}.trace.json")
+    cluster = result.meta.get("cluster")
+    registry = metrics_from_report(cluster.report()) if cluster is not None else None
+    registry = metrics_from_run(result, registry)
+    metrics_path = write_text(f"{out_prefix}.metrics.json",
+                              registry.to_json() + "\n")
+    print(summary_table(tracer))
+    print(f"trace   : {trace_path} (open in Perfetto / chrome://tracing)")
+    print(f"metrics : {metrics_path}")
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.core import (
+        ParallelLatticePricer,
+        ParallelLSMPricer,
+        ParallelMCPricer,
+        ParallelPDEPricer,
+    )
+    from repro.obs import Tracer, write_chrome_trace
+    from repro.parallel import FaultPlan
+    from repro.parallel.backends import make_backend
+    from repro.payoffs import BasketPut
+    from repro.workloads import basket_workload, rainbow_workload, spread_workload
+
+    faults = None
+    if args.fault_seed is not None:
+        faults = FaultPlan.random(args.fault_seed, args.p,
+                                  crash_rate=args.crash_rate,
+                                  straggler_rate=args.straggler_rate)
+    tracer = Tracer()  # simulated timeline (explicit timestamps only)
+    worker_tracer = None
+    backend = None
+    try:
+        if args.engine == "mc":
+            w = basket_workload(4)
+            if args.backend != "serial":
+                worker_tracer = Tracer()  # wall clock: keep separate
+            backend = make_backend(args.backend, tracer=worker_tracer)
+            pricer = ParallelMCPricer(args.paths, seed=args.seed,
+                                      backend=backend, record=True,
+                                      faults=faults, policy=args.policy,
+                                      tracer=tracer)
+        elif args.engine == "lattice":
+            w = rainbow_workload()
+            pricer = ParallelLatticePricer(args.steps, record=True,
+                                           faults=faults, policy=args.policy,
+                                           tracer=tracer)
+        elif args.engine == "pde":
+            w = spread_workload()
+            pricer = ParallelPDEPricer(n_space=args.grid,
+                                       n_time=max(args.steps // 8, 4),
+                                       record=True, faults=faults,
+                                       policy=args.policy, tracer=tracer)
+        else:
+            base = basket_workload(2)
+            w = type(base)("american-basket-put", base.model,
+                           BasketPut([0.5, 0.5], 100.0), base.expiry)
+            pricer = ParallelLSMPricer(args.paths, args.steps,
+                                       seed=args.seed, record=True,
+                                       faults=faults, policy=args.policy,
+                                       tracer=tracer)
+        result = pricer.price(w.model, w.payoff, w.expiry, args.p)
+    finally:
+        if backend is not None:
+            backend.close()
+
+    print(f"engine   : {args.engine} — {w.name}, P={args.p}")
+    print(f"price    : {result.price:.6f} ± {result.stderr:.6f}")
+    print(f"sim time : {result.sim_time:.6g} s "
+          f"(compute {result.compute_time:.3g}, comm {result.comm_time:.3g}, "
+          f"idle {result.idle_time:.3g})")
+    report = result.meta.get("fault_report")
+    if report is not None:
+        print(f"faults   : {report.summary()}")
+    print()
+    _write_trace_artifacts(tracer, result, args.out)
+    if worker_tracer is not None and len(worker_tracer):
+        path = write_chrome_trace(worker_tracer,
+                                  f"{args.out}.workers.trace.json")
+        print(f"workers : {path} (wall-clock per-task spans, "
+              f"{args.backend} backend)")
     return 0
 
 
@@ -147,6 +286,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_price(args)
     if args.command == "scaling":
         return _cmd_scaling(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     return _cmd_portfolio(args)
 
 

@@ -50,6 +50,9 @@ class ParallelLatticePricer:
         bit-identical (the arithmetic is the sequential reference);
         faults stretch and extend the simulated timeline only, and a
         permanently lost rank raises (this engine cannot degrade).
+    tracer : optional :class:`~repro.obs.Tracer` (simulated timeline):
+        per-rank spans via the cluster plus ``lattice.level`` /
+        ``lattice.halo`` phase spans on the main track.
     """
 
     def __init__(
@@ -62,6 +65,7 @@ class ParallelLatticePricer:
         record: bool = False,
         faults: FaultPlan | None = None,
         policy: FaultPolicy | str | None = None,
+        tracer=None,
     ):
         self.steps = check_positive_int("steps", steps)
         self.american = bool(american)
@@ -72,6 +76,7 @@ class ParallelLatticePricer:
         self.record = bool(record)
         self.faults = faults
         self.policy = FaultPolicy.parse(policy)
+        self.tracer = tracer
 
     def price(
         self,
@@ -89,7 +94,8 @@ class ParallelLatticePricer:
         node_units = self.work.lattice_node_units(d)
         intr_units = self.work.intrinsic_node_units(d)
         cluster = SimulatedCluster(p, self.spec, record=self.record,
-                                   faults=self.faults)
+                                   faults=self.faults, tracer=self.tracer)
+        tracer = self.tracer
 
         wall0 = time.perf_counter()
         values = lattice.payoff_values(payoff, n)
@@ -98,8 +104,11 @@ class ParallelLatticePricer:
         plane_leaf = (n + 1) ** (d - 1)
         for r, (lo, hi) in enumerate(leaf_parts):
             cluster.compute(r, (hi - lo) * plane_leaf * intr_units)
+        if tracer:
+            tracer.add_span("lattice.leaves", 0.0, cluster.elapsed())
 
         for t in range(n - 1, -1, -1):
+            level_t0 = cluster.elapsed()
             rows = t + 1
             p_eff = min(p, rows)
             parts = block_partition(rows, p_eff)
@@ -122,7 +131,13 @@ class ParallelLatticePricer:
                 cluster.compute(r, work_units)
             # One halo plane of level t+1 moves across each slab boundary.
             halo_bytes = ((t + 2) ** (d - 1)) * 8.0
+            halo_t0 = cluster.elapsed()
             cluster.halo_exchange(halo_bytes)
+            if tracer:
+                tracer.add_span("lattice.halo", halo_t0, cluster.elapsed(),
+                                level=t, nbytes=halo_bytes)
+                tracer.add_span("lattice.level", level_t0, cluster.elapsed(),
+                                level=t, rows=rows)
         wall = time.perf_counter() - wall0
 
         fault_report = simulate_recovery(cluster, self.faults, self.policy,

@@ -61,6 +61,11 @@ class ParallelLSMPricer:
     faults, policy : optional fault plan / failure policy (simulated
         timeline only; values stay bit-identical and rank loss raises —
         the per-date allreduce couples every rank).
+    record : keep the cluster's event trace and attach the cluster to
+        ``result.meta["cluster"]`` (render with perf.gantt).
+    tracer : optional :class:`~repro.obs.Tracer` (simulated timeline):
+        per-rank spans via the cluster plus ``lsm.paths`` / per-date
+        ``lsm.regression`` / ``lsm.reduce`` phase spans on the main track.
     """
 
     def __init__(
@@ -73,8 +78,10 @@ class ParallelLSMPricer:
         spec: MachineSpec | None = None,
         work: WorkModel | None = None,
         min_regression_paths: int = 32,
+        record: bool = False,
         faults: FaultPlan | None = None,
         policy: FaultPolicy | str | None = None,
+        tracer=None,
     ):
         self.n_paths = check_positive_int("n_paths", n_paths)
         self.steps = check_positive_int("steps", steps)
@@ -85,8 +92,10 @@ class ParallelLSMPricer:
         self.min_regression_paths = check_positive_int(
             "min_regression_paths", min_regression_paths
         )
+        self.record = bool(record)
         self.faults = faults
         self.policy = FaultPolicy.parse(policy)
+        self.tracer = tracer
 
     def price(
         self,
@@ -118,10 +127,14 @@ class ParallelLSMPricer:
         cash = payoff.intrinsic(paths[:, -1, :])
         tau = np.full(n, m, dtype=np.int64)
 
-        cluster = SimulatedCluster(p, self.spec, faults=self.faults)
+        cluster = SimulatedCluster(p, self.spec, record=self.record,
+                                   faults=self.faults, tracer=self.tracer)
+        tracer = self.tracer
         path_units = self.work.mc_path_units(d, m)
         for r, (lo, hi) in enumerate(parts):
             cluster.compute(r, (hi - lo) * path_units)
+        if tracer:
+            tracer.add_span("lsm.paths", 0.0, cluster.elapsed())
 
         # Basis size for the work model and the allreduce payload.
         k = polynomial_features(np.ones((1, d)), self.degree,
@@ -129,6 +142,7 @@ class ParallelLSMPricer:
         moment_bytes = (k * k + k + 1) * 8.0
 
         for t in range(m - 1, 0, -1):
+            date_t0 = cluster.elapsed()
             s_t = paths[:, t, :]
             intrinsic = payoff.intrinsic(s_t)
             itm = intrinsic > 0.0
@@ -150,6 +164,9 @@ class ParallelLSMPricer:
                     b_global += x_loc.T @ realized[sel]
                 cluster.compute(r, n_sel * self.work.regression_per_path * k)
             cluster.allreduce(moment_bytes)
+            if tracer:
+                tracer.add_span("lsm.regression", date_t0, cluster.elapsed(),
+                                date=t, itm_paths=count_global)
 
             if count_global < self.min_regression_paths:
                 continue
@@ -172,8 +189,11 @@ class ParallelLSMPricer:
                                          engine="lsm")
         pv = cash * np.exp(-model.rate * dt * tau)
         partials = [SampleStats.from_values(pv[lo:hi]) for lo, hi in parts]
+        reduce_t0 = cluster.elapsed()
         merged = cluster.reduce_data(partials, lambda a, b: a.merge(b), 24.0,
                                      root=0, topology="tree")
+        if tracer:
+            tracer.add_span("lsm.reduce", reduce_t0, cluster.elapsed())
         price = merged.mean
         stderr = merged.stderr
         intrinsic0 = float(payoff.intrinsic(paths[:, 0, :])[0])
@@ -196,6 +216,7 @@ class ParallelLSMPricer:
             engine="lsm",
             meta={"steps": m, "degree": self.degree, "basis_size": k,
                   "n_paths": n,
+                  **({"cluster": cluster} if self.record else {}),
                   **({"fault_report": fault_report} if fault_report else {})},
         )
 

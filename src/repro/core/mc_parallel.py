@@ -93,6 +93,11 @@ class ParallelMCPricer:
         are never consumed twice). Under degrade, exhausted ranks are
         dropped and the estimator reprices with the survivors — fewer
         paths, so the reported CI widens honestly.
+    tracer : optional :class:`~repro.obs.Tracer` recording the run on the
+        **simulated** timeline: per-rank compute/comm/idle/fault spans
+        (via the cluster) plus ``mc.paths`` / ``mc.reduce`` phase spans on
+        the main track. Real-backend worker spans live on the *backend's*
+        tracer instead (wall clock) — keep the two separate.
     """
 
     def __init__(
@@ -110,6 +115,7 @@ class ParallelMCPricer:
         record: bool = False,
         faults: FaultPlan | None = None,
         policy: FaultPolicy | str | None = None,
+        tracer=None,
     ):
         self.n_paths = check_positive_int("n_paths", n_paths)
         self.technique = technique if technique is not None else PlainMC()
@@ -129,6 +135,7 @@ class ParallelMCPricer:
         self.record = bool(record)
         self.faults = faults
         self.policy = FaultPolicy.parse(policy)
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
 
@@ -203,7 +210,8 @@ class ParallelMCPricer:
 
         # --- simulated machine accounting ---
         cluster = SimulatedCluster(p, self.spec, record=self.record,
-                                   faults=self.faults)
+                                   faults=self.faults, tracer=self.tracer)
+        tracer = self.tracer
         units = self.work.mc_path_units(model.dim, self.steps)
         if fault_report is None:
             cluster.compute_all([c * units for c in counts])
@@ -219,6 +227,9 @@ class ParallelMCPricer:
             for r in range(p):
                 if r not in fault_report.lost_ranks:
                     cluster.compute(r, counts[r] * units)
+        if tracer:
+            tracer.add_span("mc.paths", 0.0, cluster.elapsed())
+        reduce_t0 = cluster.elapsed()
 
         if fault_report is not None and fault_report.lost_ranks:
             # Degraded repricing: merge the survivors in rank order and
@@ -242,6 +253,9 @@ class ParallelMCPricer:
                 root=0,
                 topology=self.reduce_topology,
             )
+        if tracer:
+            tracer.add_span("mc.reduce", reduce_t0, cluster.elapsed(),
+                            topology=self.reduce_topology)
         price, stderr, n_eff = self.technique.finalize(merged)
         rep = cluster.report()
         return ParallelRunResult(

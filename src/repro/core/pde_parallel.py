@@ -51,6 +51,9 @@ class ParallelPDEPricer:
     spec, work : simulated machine and work models.
     faults, policy : optional fault plan / failure policy (simulated
         timeline only; values stay bit-identical and rank loss raises).
+    tracer : optional :class:`~repro.obs.Tracer` (simulated timeline):
+        per-rank spans via the cluster plus per-step ``pde.step`` spans
+        with nested ``pde.transpose`` exchanges on the main track.
     """
 
     def __init__(
@@ -64,6 +67,7 @@ class ParallelPDEPricer:
         record: bool = False,
         faults: FaultPlan | None = None,
         policy: FaultPolicy | str | None = None,
+        tracer=None,
     ):
         self.n_space = check_positive_int("n_space", n_space)
         self.n_time = check_positive_int("n_time", n_time)
@@ -75,6 +79,14 @@ class ParallelPDEPricer:
         self.record = bool(record)
         self.faults = faults
         self.policy = FaultPolicy.parse(policy)
+        self.tracer = tracer
+
+    def _transpose(self, cluster: SimulatedCluster, nbytes: float) -> None:
+        """All-to-all layout switch, traced as a ``pde.transpose`` span."""
+        t0 = cluster.elapsed()
+        cluster.alltoall(nbytes)
+        if self.tracer:
+            self.tracer.add_span("pde.transpose", t0, cluster.elapsed())
 
     def _parallel_step(
         self, solver: ADISolver, v: np.ndarray, p: int, cluster: SimulatedCluster,
@@ -91,7 +103,7 @@ class ParallelPDEPricer:
             cluster.compute(r, (hi - lo) * ny * (w.fd_explicit_point + w.fd_mixed_point))
 
         # Transpose rows → columns.
-        cluster.alltoall(nx * ny * 8.0 / (p * p))
+        self._transpose(cluster, nx * ny * 8.0 / (p * p))
 
         # Phase 1 (column layout): x-implicit solves on column blocks.
         col_parts = block_partition(ny, min(p, ny))
@@ -105,7 +117,7 @@ class ParallelPDEPricer:
             cluster.compute(r, (hi - lo) * nx * w.fd_explicit_point)
 
         # Transpose columns → rows.
-        cluster.alltoall(nx * ny * 8.0 / (p * p))
+        self._transpose(cluster, nx * ny * 8.0 / (p * p))
 
         # Phase 2 (row layout): y-implicit solves on row blocks.
         v_new = np.empty_like(v)
@@ -138,11 +150,15 @@ class ParallelPDEPricer:
         values = payoff.terminal(mesh).reshape(sx.size, sy.size)
         obstacle = values.copy() if self.american else None
         cluster = SimulatedCluster(p, self.spec, record=self.record,
-                                   faults=self.faults)
+                                   faults=self.faults, tracer=self.tracer)
 
         wall0 = time.perf_counter()
-        for _ in range(self.n_time):
+        for step in range(self.n_time):
+            step_t0 = cluster.elapsed()
             values = self._parallel_step(solver, values, p, cluster, obstacle)
+            if self.tracer:
+                self.tracer.add_span("pde.step", step_t0, cluster.elapsed(),
+                                     step=step)
         wall = time.perf_counter() - wall0
 
         fault_report = simulate_recovery(cluster, self.faults, self.policy,

@@ -1,0 +1,57 @@
+"""Unified observability layer: spans, metrics, exporters.
+
+One event stream for both time bases the repo measures in (the simulated
+cluster's virtual clocks and the real backends' wall clock):
+
+* :mod:`~repro.obs.tracer` — span/instant recording with a pluggable
+  clock and a zero-overhead disabled fast path.
+* :mod:`~repro.obs.metrics` — labeled counter/gauge/histogram registry
+  with canonical-JSON snapshots.
+* :mod:`~repro.obs.export` — Perfetto/``chrome://tracing`` JSON, flat
+  span CSV, terminal summary table.
+
+See the "Observability" section of docs/architecture.md for the design
+and docs/tutorial.md for a chaos-trace walkthrough.
+"""
+
+from repro.obs.tracer import (
+    EventRecord,
+    NULL_TRACER,
+    SpanRecord,
+    Tracer,
+    track_sort_key,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    metrics_from_report,
+    metrics_from_run,
+)
+from repro.obs.export import (
+    chrome_trace,
+    chrome_trace_json,
+    spans_to_csv,
+    summary_table,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "Tracer",
+    "NULL_TRACER",
+    "SpanRecord",
+    "EventRecord",
+    "track_sort_key",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "metrics_from_report",
+    "metrics_from_run",
+    "chrome_trace",
+    "chrome_trace_json",
+    "spans_to_csv",
+    "summary_table",
+    "write_chrome_trace",
+]

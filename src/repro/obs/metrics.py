@@ -1,0 +1,230 @@
+"""Metrics registry: named counters, gauges and histograms with labels.
+
+The perf harness derives speedup/efficiency *after* a run from
+``ParallelRunResult``; the metrics registry is the complementary view —
+cumulative, name-addressed series (paths/sec, messages, bytes moved,
+retries, per-worker task latency) that any layer can bump while running
+and that snapshot to **canonical JSON** (sorted keys, fixed separators),
+so two identical runs produce byte-identical snapshots, matching the
+fault layer's reproducibility contract.
+
+Series identity is ``name`` plus sorted ``label=value`` pairs, rendered
+``name{k=v,...}`` in snapshots — a deliberately Prometheus-shaped naming
+scheme without the dependency.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "metrics_from_report",
+    "metrics_from_run",
+]
+
+
+class Counter:
+    """Monotonically increasing total (messages, retries, bytes)."""
+
+    kind = "counter"
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        amount = float(amount)
+        if amount < 0:
+            raise ValidationError(f"counter increments must be >= 0, got {amount}")
+        self.value += amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """Last-write-wins level (elapsed seconds, paths/sec, rank count)."""
+
+    kind = "gauge"
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Streaming distribution summary (task latency, per-rank seconds).
+
+    Keeps running moments rather than samples, so observing is O(1) and a
+    snapshot is ``{count, sum, min, max, mean, std}`` (sample std, 0 for
+    fewer than two observations).
+    """
+
+    kind = "histogram"
+    __slots__ = ("count", "total", "sumsq", "min", "max")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.sumsq = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.sumsq += value * value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def std(self) -> float:
+        if self.count < 2:
+            return 0.0
+        var = (self.sumsq - self.total * self.total / self.count) / (self.count - 1)
+        return math.sqrt(max(var, 0.0))
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+            "std": self.std,
+        }
+
+
+def _series_key(name: str, labels: dict) -> str:
+    if not labels:
+        return str(name)
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Get-or-create registry of labeled metric series."""
+
+    def __init__(self):
+        self._series: dict[str, object] = {}
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def _get(self, cls, name: str, labels: dict):
+        key = _series_key(name, labels)
+        metric = self._series.get(key)
+        if metric is None:
+            metric = cls()
+            self._series[key] = metric
+        elif not isinstance(metric, cls):
+            raise ValidationError(
+                f"metric {key!r} already registered as {metric.kind}, "
+                f"requested as {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    # -- export --------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Kind-grouped dict of every series (insertion-order independent)."""
+        out: dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for key in sorted(self._series):
+            metric = self._series[key]
+            out[metric.kind + "s"][key] = metric.snapshot()
+        return out
+
+    def to_json(self) -> str:
+        """Canonical JSON — byte-identical for identical metric contents."""
+        return json.dumps(self.snapshot(), sort_keys=True,
+                          separators=(",", ":"))
+
+
+# ---------------------------------------------------------------------------
+# Bridges from the existing accounting objects.
+# ---------------------------------------------------------------------------
+
+
+def metrics_from_report(report: dict,
+                        registry: MetricsRegistry | None = None) -> MetricsRegistry:
+    """Fill a registry from :meth:`SimulatedCluster.report`.
+
+    ``sim.messages`` / ``sim.bytes_moved`` counters mirror the cluster's
+    communication volume exactly (asserted in the obs test suite); the
+    per-rank breakdown becomes ``sim.rank_seconds{account=...,rank=r}``
+    gauges plus one histogram per account across ranks.
+    """
+    if registry is None:
+        registry = MetricsRegistry()
+    registry.counter("sim.messages").inc(report["messages"])
+    registry.counter("sim.bytes_moved").inc(report["bytes_moved"])
+    registry.gauge("sim.p").set(report["p"])
+    for key in ("elapsed", "compute_time", "comm_time", "idle_time",
+                "fault_time"):
+        registry.gauge(f"sim.{key}").set(report[key])
+    for r, account in enumerate(report.get("ranks", [])):
+        for kind, seconds in account.items():
+            registry.gauge("sim.rank_seconds", account=kind, rank=r).set(seconds)
+            registry.histogram("sim.rank_seconds_dist", account=kind).observe(seconds)
+    return registry
+
+
+def metrics_from_run(result,
+                     registry: MetricsRegistry | None = None) -> MetricsRegistry:
+    """Fill a registry from a :class:`ParallelRunResult`.
+
+    Adds engine-labeled run gauges (``run.sim_time``, ``run.paths_per_sec``
+    when the engine reports a path count) and fault-recovery counters when
+    a :class:`RunReport` rode along in the result meta.
+    """
+    if registry is None:
+        registry = MetricsRegistry()
+    eng = result.engine
+    registry.gauge("run.sim_time", engine=eng).set(result.sim_time)
+    registry.gauge("run.wall_time", engine=eng).set(result.wall_time)
+    registry.gauge("run.p", engine=eng).set(result.p)
+    n_paths = result.meta.get("n_paths")
+    if n_paths and result.sim_time > 0:
+        registry.gauge("run.paths_per_sec", engine=eng).set(
+            n_paths / result.sim_time
+        )
+    report = result.meta.get("fault_report")
+    if report is not None:
+        registry.counter("run.retries", engine=eng).inc(report.n_retries)
+        registry.counter("run.faults_injected", engine=eng).inc(
+            report.faults_injected
+        )
+        registry.counter("run.fault_recoveries", engine=eng).inc(
+            len(report.recovered_ranks)
+        )
+        registry.counter("run.lost_ranks", engine=eng).inc(
+            len(report.lost_ranks)
+        )
+    return registry

@@ -27,6 +27,7 @@ from repro.parallel.partition import (
 )
 from repro.parallel.backends import (
     ExecutionBackend,
+    make_backend,
     SerialBackend,
     ThreadBackend,
     ProcessBackend,
@@ -58,6 +59,7 @@ __all__ = [
     "block_cyclic_indices",
     "owner_of",
     "ExecutionBackend",
+    "make_backend",
     "SerialBackend",
     "ThreadBackend",
     "ProcessBackend",

@@ -18,6 +18,15 @@ pooled resources (including after a worker crash — the process pool is
 terminated rather than joined if its last ``map`` raised), and mapping on
 a closed backend raises :class:`~repro.errors.BackendError`.
 
+Observability: pass ``tracer=`` (a :class:`~repro.obs.Tracer`, wall-clock
+based) and/or ``metrics=`` (a :class:`~repro.obs.MetricsRegistry`) and
+every ``map`` records one ``<name>.map`` span plus a per-task ``task``
+span on a ``worker{i}`` track, and observes per-task latency into the
+``task_latency{backend=...}`` histogram. Timestamps come from
+``time.perf_counter`` *inside* the worker — on Linux that clock is
+system-wide, so spans from forked children land on the parent's timeline.
+Without a tracer the original uninstrumented path runs unchanged.
+
 Experiment F9 runs the same pricing job on all three and compares
 wall-clock against the simulated curve — on the single-core CI box the
 real backends show flat speedup, which is itself a documented result
@@ -28,13 +37,37 @@ from __future__ import annotations
 
 import abc
 import os
+import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Sequence
 
 from repro.errors import BackendError, ValidationError
 from repro.utils.validation import check_positive_int
 
-__all__ = ["ExecutionBackend", "SerialBackend", "ThreadBackend", "ProcessBackend"]
+__all__ = ["ExecutionBackend", "SerialBackend", "ThreadBackend",
+           "ProcessBackend", "make_backend"]
+
+
+class _TimedCall:
+    """Picklable worker wrapper measuring each task on the worker's clock.
+
+    Returns ``(result, index, t0, t1, pid, thread_ident)`` so the backend
+    can rebuild rank order, attribute the span to a worker track, and
+    observe the latency — without a second pass over the pool.
+    """
+
+    __slots__ = ("worker",)
+
+    def __init__(self, worker: Callable):
+        self.worker = worker
+
+    def __call__(self, item):
+        idx, task = item
+        t0 = time.perf_counter()
+        result = self.worker(task)
+        t1 = time.perf_counter()
+        return result, idx, t0, t1, os.getpid(), threading.get_ident()
 
 
 class ExecutionBackend(abc.ABC):
@@ -44,14 +77,49 @@ class ExecutionBackend(abc.ABC):
     ``close()`` is idempotent, the backend is a reusable-until-closed
     context manager, and :meth:`map` after :meth:`close` raises
     :class:`BackendError` instead of silently recreating pools.
+
+    Subclasses implement :meth:`_run_map` (the raw pool mapping);
+    :meth:`map` adds the open-check and, when a tracer or metrics registry
+    is attached, the per-task instrumentation.
     """
 
     name: str = "backend"
     _closed: bool = False
+    tracer = None
+    metrics = None
 
     @abc.abstractmethod
+    def _run_map(self, worker: Callable, tasks: Sequence) -> list:
+        """Run ``worker(task)`` for every task; results in input order."""
+
     def map(self, worker: Callable, tasks: Sequence) -> list:
         """Run ``worker(task)`` for every task; results in input order."""
+        self._check_open()
+        if not (self.tracer or self.metrics is not None):
+            return self._run_map(worker, tasks)
+        return self._instrumented_map(worker, tasks)
+
+    def _instrumented_map(self, worker: Callable, tasks: Sequence) -> list:
+        items = list(enumerate(tasks))
+        tracer = self.tracer
+        if tracer:
+            with tracer.span(f"{self.name}.map", n_tasks=len(items)):
+                outs = self._run_map(_TimedCall(worker), items)
+        else:
+            outs = self._run_map(_TimedCall(worker), items)
+        hist = (self.metrics.histogram("task_latency", backend=self.name)
+                if self.metrics is not None else None)
+        workers: dict[tuple, int] = {}
+        results: list = [None] * len(outs)
+        for result, idx, t0, t1, pid, ident in outs:
+            wid = workers.setdefault((pid, ident), len(workers))
+            if tracer:
+                tracer.add_span("task", t0, t1, track=f"worker{wid}",
+                                rank_task=idx)
+            if hist is not None:
+                hist.observe(t1 - t0)
+            results[idx] = result
+        return results
 
     def close(self) -> None:
         """Release pooled resources (idempotent)."""
@@ -79,8 +147,11 @@ class SerialBackend(ExecutionBackend):
 
     name = "serial"
 
-    def map(self, worker: Callable, tasks: Sequence) -> list:
-        self._check_open()
+    def __init__(self, *, tracer=None, metrics=None):
+        self.tracer = tracer
+        self.metrics = metrics
+
+    def _run_map(self, worker: Callable, tasks: Sequence) -> list:
         return [worker(t) for t in tasks]
 
 
@@ -89,9 +160,12 @@ class ThreadBackend(ExecutionBackend):
 
     name = "thread"
 
-    def __init__(self, max_workers: int | None = None):
+    def __init__(self, max_workers: int | None = None, *, tracer=None,
+                 metrics=None):
         workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
         self.max_workers = check_positive_int("max_workers", workers)
+        self.tracer = tracer
+        self.metrics = metrics
         self._pool: ThreadPoolExecutor | None = None
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
@@ -99,10 +173,8 @@ class ThreadBackend(ExecutionBackend):
             self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
         return self._pool
 
-    def map(self, worker: Callable, tasks: Sequence) -> list:
-        self._check_open()
-        pool = self._ensure_pool()
-        return list(pool.map(worker, tasks))
+    def _run_map(self, worker: Callable, tasks: Sequence) -> list:
+        return list(self._ensure_pool().map(worker, tasks))
 
     def close(self) -> None:
         if self._pool is not None:
@@ -122,9 +194,12 @@ class ProcessBackend(ExecutionBackend):
 
     name = "process"
 
-    def __init__(self, max_workers: int | None = None):
+    def __init__(self, max_workers: int | None = None, *, tracer=None,
+                 metrics=None):
         workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
         self.max_workers = check_positive_int("max_workers", workers)
+        self.tracer = tracer
+        self.metrics = metrics
         self._pool = None
         self._broken = False
 
@@ -140,8 +215,7 @@ class ProcessBackend(ExecutionBackend):
             self._broken = False
         return self._pool
 
-    def map(self, worker: Callable, tasks: Sequence) -> list:
-        self._check_open()
+    def _run_map(self, worker: Callable, tasks: Sequence) -> list:
         pool = self._ensure_pool()
         try:
             return pool.map(worker, list(tasks))
@@ -166,12 +240,13 @@ class ProcessBackend(ExecutionBackend):
             pass
 
 
-def make_backend(name: str, max_workers: int | None = None) -> ExecutionBackend:
+def make_backend(name: str, max_workers: int | None = None, *, tracer=None,
+                 metrics=None) -> ExecutionBackend:
     """Factory: ``"serial"`` | ``"thread"`` | ``"process"``."""
     if name == "serial":
-        return SerialBackend()
+        return SerialBackend(tracer=tracer, metrics=metrics)
     if name == "thread":
-        return ThreadBackend(max_workers)
+        return ThreadBackend(max_workers, tracer=tracer, metrics=metrics)
     if name == "process":
-        return ProcessBackend(max_workers)
+        return ProcessBackend(max_workers, tracer=tracer, metrics=metrics)
     raise ValidationError(f"unknown backend {name!r}")

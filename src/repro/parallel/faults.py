@@ -406,7 +406,7 @@ def _guarded_call(args):
 
 
 def resilient_map(backend, worker, tasks, *, plan: FaultPlan | None = None,
-                  policy: FaultPolicy | str | None = None):
+                  policy: FaultPolicy | str | None = None, tracer=None):
     """Map ``worker`` over ``tasks`` with fault injection and recovery.
 
     Returns ``(results, report)`` where ``results[r]`` is rank r's value
@@ -415,12 +415,19 @@ def resilient_map(backend, worker, tasks, *, plan: FaultPlan | None = None,
     stream as the failed attempt — recovered runs equal fault-free runs
     bitwise.
 
+    ``tracer`` (default: the backend's own tracer, if any) receives a
+    wall-clock instant event per detected fault, retry and degraded rank,
+    on the failing rank's track — so a real-backend trace shows *when*
+    recovery machinery fired next to the worker task spans.
+
     Raises :class:`FaultError` under ``fail_fast`` on the first fault,
     under ``retry`` on exhaustion, and under ``degrade`` when no rank
     survives.
     """
     plan = plan if plan is not None else FaultPlan.none()
     policy = FaultPolicy.parse(policy)
+    if tracer is None:
+        tracer = getattr(backend, "tracer", None)
     n = len(tasks)
     results: list = [None] * n
     attempts: list[RankAttempt] = []
@@ -455,6 +462,8 @@ def resilient_map(backend, worker, tasks, *, plan: FaultPlan | None = None,
             attempts.append(RankAttempt(r, k, kind, detail,
                                         backoff=policy.backoff_for(k),
                                         duration=dt))
+            if tracer:
+                tracer.instant("fault", rank=r, kind=kind, attempt=k)
             if policy.mode == "fail_fast":
                 raise FaultError(
                     f"rank {r} failed ({kind}: {detail}) under fail_fast policy"
@@ -466,9 +475,13 @@ def resilient_map(backend, worker, tasks, *, plan: FaultPlan | None = None,
                         f"{k + 1} attempt(s); retry budget exhausted"
                     )
                 lost.append(r)  # degrade: drop the rank
+                if tracer:
+                    tracer.instant("degrade", rank=r, attempts=k + 1)
             else:
                 attempt_no[r] = k + 1
                 retry_ranks.append(r)
+                if tracer:
+                    tracer.instant("retry", rank=r, attempt=k + 1)
 
         if retry_ranks and policy.backoff_base > 0.0:
             time.sleep(max(policy.backoff_for(attempt_no[r]) for r in retry_ranks))
@@ -536,16 +549,30 @@ def charge_report(cluster, report: RunReport, base_seconds,
     r's work, including any straggler stretch. For each failed attempt,
     one full replay is charged as **fault** time — the checkpoint-free
     re-execution model — and each retry's exponential backoff is charged
-    as idle wait."""
+    as idle wait.
+
+    When the cluster carries a tracer, each retry and failed attempt also
+    lands as an instant event on the rank's track at its **simulated**
+    time, so chaos timelines show exactly where recovery burned the clock.
+    """
     if len(base_seconds) != report.p:
         raise ValidationError(
             f"need base_seconds for all {report.p} ranks, got {len(base_seconds)}"
         )
+    tracer = getattr(cluster, "tracer", None)
     for a in report.attempts:
         if a.attempt > 0:
             cluster.delay(a.rank, policy.backoff_for(a.attempt), kind="idle")
+            if tracer:
+                tracer.instant("retry", rank=a.rank,
+                               t=float(cluster.clocks[a.rank]),
+                               attempt=a.attempt)
         if a.outcome != "ok":
             cluster.delay(a.rank, float(base_seconds[a.rank]), kind="fault")
+            if tracer:
+                tracer.instant("fault", rank=a.rank,
+                               t=float(cluster.clocks[a.rank]),
+                               kind=a.outcome, attempt=a.attempt)
 
 
 def simulate_recovery(cluster, plan: FaultPlan | None,

@@ -95,7 +95,7 @@ class SimulatedCluster:
     """
 
     def __init__(self, p: int, spec: MachineSpec | None = None, *,
-                 record: bool = False, faults=None):
+                 record: bool = False, faults=None, tracer=None):
         self.p = check_positive_int("p", p)
         self.spec = spec if spec is not None else MachineSpec()
         self.clocks = np.zeros(self.p, dtype=float)
@@ -107,6 +107,12 @@ class SimulatedCluster:
         #: :func:`repro.perf.gantt.render_gantt`.
         self.record = bool(record)
         self.trace: list[tuple[int, float, float, str]] = []
+        #: Optional :class:`~repro.obs.Tracer`: every charged interval is
+        #: also emitted as a span on track ``rank{r}`` with **simulated**
+        #: timestamps, so Gantt and Perfetto render the same data. The
+        #: attached tracer must be dedicated to this simulated timeline
+        #: (never share one with wall-clock spans).
+        self.tracer = tracer
         #: Optional :class:`~repro.parallel.faults.FaultPlan`; straggler
         #: events stretch the affected rank's compute charges.
         self.faults = faults
@@ -118,8 +124,12 @@ class SimulatedCluster:
             self._slowdowns = None
 
     def _log(self, rank: int, t0: float, t1: float, kind: str) -> None:
-        if self.record and t1 > t0:
+        if t1 <= t0:
+            return
+        if self.record:
             self.trace.append((rank, t0, t1, kind))
+        if self.tracer:
+            self.tracer.add_span(kind, t0, t1, rank=rank)
 
     # -- primitives -----------------------------------------------------------
 
@@ -363,8 +373,18 @@ class SimulatedCluster:
         """Max per-rank seconds lost to failed attempts (recovery cost)."""
         return max(a.fault for a in self.accounts)
 
+    def rank_breakdown(self) -> list[dict]:
+        """Per-rank seconds by account, in rank order — the raw material
+        for load-imbalance diagnostics and the obs metrics snapshot."""
+        return [
+            {"compute": a.compute, "comm": a.comm, "idle": a.idle,
+             "fault": a.fault}
+            for a in self.accounts
+        ]
+
     def report(self) -> dict:
-        """Summary dict used by the perf harness."""
+        """Summary dict used by the perf harness: the per-rank maxima plus
+        the full per-rank breakdown under ``"ranks"``."""
         return {
             "p": self.p,
             "elapsed": self.elapsed(),
@@ -374,4 +394,5 @@ class SimulatedCluster:
             "fault_time": self.fault_time,
             "messages": self.messages,
             "bytes_moved": self.bytes_moved,
+            "ranks": self.rank_breakdown(),
         }

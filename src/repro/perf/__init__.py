@@ -9,7 +9,7 @@ evaluation section is built from.
 * :mod:`~repro.perf.experiment` — sweep runner producing paper-style tables.
 """
 
-from repro.perf.timer import Timer, time_callable
+from repro.perf.timer import Timer, TimingStats, time_callable
 from repro.perf.metrics import ScalingSeries, speedup, efficiency
 from repro.perf.laws import (
     amdahl_speedup,
@@ -27,6 +27,7 @@ __all__ = [
     "run_report_to_csv",
     "run_report_to_markdown",
     "Timer",
+    "TimingStats",
     "time_callable",
     "ScalingSeries",
     "speedup",

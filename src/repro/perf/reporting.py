@@ -28,14 +28,24 @@ __all__ = [
 ]
 
 
-def table_to_csv(table: Table) -> str:
-    """Render a :class:`Table` as CSV text (header row + data rows)."""
+def table_to_csv(table: Table, *, floatfmt: str | None = None) -> str:
+    """Render a :class:`Table` as CSV text (header row + data rows).
+
+    By default floats are written at full ``repr`` precision — CSV is the
+    machine-consumer format, and rounding it would make artifact diffs lie
+    about what was measured. Pass ``floatfmt`` (e.g. ``table.floatfmt``)
+    to opt into the same display rounding :func:`table_to_markdown`
+    applies.
+    """
     if not isinstance(table, Table):
         raise ValidationError("table_to_csv expects a repro Table")
     buf = io.StringIO()
     writer = csv.writer(buf, lineterminator="\n")
     writer.writerow(list(table.headers))
     for row in table.rows:
+        if floatfmt is not None:
+            row = [format(v, floatfmt) if isinstance(v, float) else v
+                   for v in row]
         writer.writerow(row)
     return buf.getvalue()
 

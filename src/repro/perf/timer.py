@@ -2,46 +2,111 @@
 
 from __future__ import annotations
 
+import math
 import time
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.errors import ValidationError
 from repro.utils.validation import check_positive_int
 
-__all__ = ["Timer", "time_callable"]
+__all__ = ["Timer", "TimingStats", "time_callable"]
 
 
 class Timer:
-    """Context-manager stopwatch.
+    """Reusable stopwatch: explicit :meth:`start`/:meth:`stop` or a
+    context manager.
 
     >>> with Timer() as t:
     ...     _ = sum(range(1000))
     >>> t.elapsed > 0
     True
+
+    A timer may be restarted any number of times; ``elapsed`` always holds
+    the most recent interval. Misuse (stopping a timer that is not
+    running, starting one that already is) raises
+    :class:`~repro.errors.ValidationError` rather than returning garbage.
     """
 
     def __init__(self):
         self._start: float | None = None
         self.elapsed: float = 0.0
 
-    def __enter__(self) -> "Timer":
+    @property
+    def running(self) -> bool:
+        return self._start is not None
+
+    def start(self) -> "Timer":
+        if self._start is not None:
+            raise ValidationError("Timer.start() called on a running timer; "
+                                  "stop() it first")
         self._start = time.perf_counter()
         return self
 
-    def __exit__(self, *exc) -> None:
-        if self._start is None:  # pragma: no cover - defensive
-            raise ValidationError("Timer exited without entering")
+    def stop(self) -> float:
+        """Stop the timer; returns (and stores) the elapsed seconds."""
+        if self._start is None:
+            raise ValidationError("Timer.stop() called before start()")
         self.elapsed = time.perf_counter() - self._start
         self._start = None
+        return self.elapsed
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
 
 
-def time_callable(fn: Callable[[], object], *, repeats: int = 3) -> float:
-    """Best-of-``repeats`` wall time of ``fn()`` (min over runs, the
-    standard noise-resistant estimator for benchmarking)."""
+@dataclass(frozen=True)
+class TimingStats:
+    """Summary of repeated timings of one callable.
+
+    ``min`` stays the headline estimator (the standard noise-resistant
+    choice for benchmarking); mean/std expose the spread so benchmark
+    tables can show error bars, and :meth:`observe_into` feeds the raw
+    repeats to an obs histogram.
+    """
+
+    times: tuple[float, ...]
+
+    @property
+    def repeats(self) -> int:
+        return len(self.times)
+
+    @property
+    def min(self) -> float:
+        return min(self.times)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.times) / len(self.times)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation (0 for a single repeat)."""
+        n = len(self.times)
+        if n < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(sum((t - mu) ** 2 for t in self.times) / (n - 1))
+
+    def observe_into(self, histogram) -> None:
+        """Feed every repeat into an :class:`~repro.obs.Histogram`."""
+        for t in self.times:
+            histogram.observe(t)
+
+    def __float__(self) -> float:
+        return self.min
+
+
+def time_callable(fn: Callable[[], object], *, repeats: int = 3) -> TimingStats:
+    """Time ``fn()`` ``repeats`` times; returns the full
+    :class:`TimingStats` (headline: ``.min``, the best-of-N estimator)."""
     check_positive_int("repeats", repeats)
-    best = float("inf")
+    times = []
     for _ in range(repeats):
         t0 = time.perf_counter()
         fn()
-        best = min(best, time.perf_counter() - t0)
-    return best
+        times.append(time.perf_counter() - t0)
+    return TimingStats(times=tuple(times))

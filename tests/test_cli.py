@@ -1,5 +1,7 @@
 """Command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -56,6 +58,65 @@ class TestScaling:
         code = main(["scaling", "--plist", "1,2", "--paths", "10000",
                      "--alpha", "5e-6", "--beta", "1e-9"])
         assert code == 0
+
+    def test_emit_trace_writes_artifacts(self, capsys, tmp_path):
+        prefix = str(tmp_path / "scale")
+        code = main(["scaling", "--plist", "1,2", "--paths", "8000",
+                     "--emit-trace", prefix])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trace summary" in out
+        doc = json.loads((tmp_path / "scale.trace.json").read_text())
+        assert any(e.get("ph") == "X" for e in doc["traceEvents"])
+        metrics = json.loads((tmp_path / "scale.metrics.json").read_text())
+        assert "sim.messages" in metrics["counters"]
+
+
+class TestTrace:
+    def test_mc_trace_writes_trace_and_metrics(self, capsys, tmp_path):
+        prefix = str(tmp_path / "run")
+        code = main(["trace", "--engine", "mc", "--p", "4",
+                     "--paths", "8000", "--out", prefix])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trace summary" in out and "price" in out
+        doc = json.loads((tmp_path / "run.trace.json").read_text())
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert "mc.paths" in names and "mc.reduce" in names
+        metrics = json.loads((tmp_path / "run.metrics.json").read_text())
+        assert metrics["gauges"]["sim.p"] == 4
+
+    def test_chaos_trace_has_fault_instants(self, capsys, tmp_path):
+        prefix = str(tmp_path / "chaos")
+        code = main(["trace", "--engine", "mc", "--p", "8",
+                     "--paths", "8000", "--fault-seed", "7",
+                     "--crash-rate", "0.5", "--out", prefix])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "faults" in out
+        doc = json.loads((tmp_path / "chaos.trace.json").read_text())
+        assert any(e.get("ph") == "i" for e in doc["traceEvents"])
+
+    @pytest.mark.parametrize("engine,extra", [
+        ("lattice", ["--steps", "24"]),
+        ("pde", ["--grid", "32", "--steps", "16"]),
+        ("lsm", ["--paths", "2000", "--steps", "8"]),
+    ])
+    def test_other_engines(self, capsys, tmp_path, engine, extra):
+        prefix = str(tmp_path / engine)
+        code = main(["trace", "--engine", engine, "--p", "2",
+                     "--out", prefix, *extra])
+        assert code == 0
+        assert (tmp_path / f"{engine}.trace.json").exists()
+
+    def test_process_backend_writes_worker_trace(self, capsys, tmp_path):
+        prefix = str(tmp_path / "mcp")
+        code = main(["trace", "--engine", "mc", "--p", "2",
+                     "--paths", "4000", "--backend", "process",
+                     "--out", prefix])
+        assert code == 0
+        doc = json.loads((tmp_path / "mcp.workers.trace.json").read_text())
+        assert any(e["name"] == "task" for e in doc["traceEvents"])
 
 
 class TestPortfolio:

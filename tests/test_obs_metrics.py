@@ -1,0 +1,127 @@
+"""Metrics registry: series semantics, canonical snapshots, bridges."""
+
+import json
+import statistics
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.obs import MetricsRegistry, metrics_from_report, metrics_from_run
+from repro.parallel import SimulatedCluster
+from repro.core import ParallelMCPricer
+from repro.parallel.faults import FaultPlan
+from repro.workloads import basket_workload
+
+
+class TestCounter:
+    def test_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("msgs").inc()
+        reg.counter("msgs").inc(2.5)
+        assert reg.counter("msgs").snapshot() == 3.5
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(ValidationError):
+            MetricsRegistry().counter("msgs").inc(-1.0)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("level").set(1.0)
+        reg.gauge("level").set(7.0)
+        assert reg.gauge("level").snapshot() == 7.0
+
+
+class TestHistogram:
+    def test_moments_match_statistics_module(self):
+        values = [0.1, 0.4, 0.25, 0.9, 0.3]
+        h = MetricsRegistry().histogram("lat")
+        for v in values:
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == len(values)
+        assert snap["sum"] == pytest.approx(sum(values))
+        assert snap["min"] == min(values) and snap["max"] == max(values)
+        assert snap["mean"] == pytest.approx(statistics.mean(values))
+        assert snap["std"] == pytest.approx(statistics.stdev(values))
+
+    def test_empty_and_single_observation(self):
+        h = MetricsRegistry().histogram("lat")
+        assert h.snapshot() == {"count": 0, "sum": 0.0, "min": 0.0,
+                                "max": 0.0, "mean": 0.0, "std": 0.0}
+        h.observe(2.0)
+        assert h.snapshot()["std"] == 0.0
+
+
+class TestRegistry:
+    def test_labels_make_distinct_series_with_sorted_keys(self):
+        reg = MetricsRegistry()
+        reg.counter("tasks", backend="thread").inc()
+        reg.counter("tasks", backend="process").inc(2)
+        # Label order in the call does not matter for series identity.
+        assert (reg.gauge("x", b=1, a=2)
+                is reg.gauge("x", a=2, b=1))
+        snap = reg.snapshot()
+        assert snap["counters"]["tasks{backend=process}"] == 2.0
+        assert snap["counters"]["tasks{backend=thread}"] == 1.0
+        assert "x{a=2,b=1}" in snap["gauges"]
+
+    def test_kind_collision_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("n")
+        with pytest.raises(ValidationError):
+            reg.gauge("n")
+
+    def test_snapshot_is_insertion_order_independent(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("one").inc()
+        a.gauge("two").set(2.0)
+        b.gauge("two").set(2.0)
+        b.counter("one").inc()
+        assert a.to_json() == b.to_json()
+        # Canonical JSON: parseable, sorted, compact.
+        doc = json.loads(a.to_json())
+        assert set(doc) == {"counters", "gauges", "histograms"}
+        assert " " not in a.to_json()
+
+
+class TestReportBridge:
+    def test_counters_match_cluster_report_exactly(self):
+        c = SimulatedCluster(4)
+        for r in range(4):
+            c.compute(r, 100 * (r + 1))
+        c.reduce(24)
+        c.bcast(8)
+        rep = c.report()
+        snap = metrics_from_report(rep).snapshot()
+        assert snap["counters"]["sim.messages"] == rep["messages"]
+        assert snap["counters"]["sim.bytes_moved"] == rep["bytes_moved"]
+        assert snap["gauges"]["sim.p"] == 4
+        assert snap["gauges"]["sim.elapsed"] == rep["elapsed"]
+
+    def test_per_rank_breakdown_series(self):
+        c = SimulatedCluster(2)
+        c.compute(0, 500)
+        c.reduce(24)
+        rep = c.report()
+        snap = metrics_from_report(rep).snapshot()
+        assert (snap["gauges"]["sim.rank_seconds{account=compute,rank=0}"]
+                == rep["ranks"][0]["compute"])
+        dist = snap["histograms"]["sim.rank_seconds_dist{account=idle}"]
+        assert dist["count"] == 2
+
+
+class TestRunBridge:
+    def test_run_and_fault_series(self):
+        w = basket_workload(2)
+        pricer = ParallelMCPricer(4000, seed=1,
+                                  faults=FaultPlan.single_crash(1),
+                                  policy="retry")
+        res = pricer.price(w.model, w.payoff, w.expiry, 4)
+        snap = metrics_from_run(res).snapshot()
+        assert snap["gauges"]["run.p{engine=mc}"] == 4
+        assert snap["gauges"]["run.paths_per_sec{engine=mc}"] > 0
+        assert snap["counters"]["run.retries{engine=mc}"] == 1
+        assert snap["counters"]["run.fault_recoveries{engine=mc}"] == 1
+        assert snap["counters"]["run.lost_ranks{engine=mc}"] == 0

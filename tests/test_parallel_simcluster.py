@@ -171,10 +171,28 @@ class TestReport:
         rep = c.report()
         assert set(rep) == {
             "p", "elapsed", "compute_time", "comm_time", "idle_time",
-            "fault_time", "messages", "bytes_moved",
+            "fault_time", "messages", "bytes_moved", "ranks",
         }
         assert rep["elapsed"] >= rep["compute_time"]
         assert rep["fault_time"] == 0.0  # no fault plan attached
+
+    def test_per_rank_breakdown(self):
+        c = SimulatedCluster(2)
+        c.compute(0, 100)
+        c.reduce(24)
+        rep = c.report()
+        ranks = rep["ranks"]
+        assert len(ranks) == 2
+        assert all(set(r) == {"compute", "comm", "idle", "fault"}
+                   for r in ranks)
+        # Only rank 0 computed; rank 1 idled waiting for it in the reduce.
+        assert ranks[0]["compute"] > 0.0
+        assert ranks[1]["compute"] == 0.0
+        assert ranks[1]["idle"] > 0.0
+        # The aggregate fields are the per-rank maxima of these accounts.
+        for key, total in (("compute", "compute_time"), ("comm", "comm_time"),
+                           ("idle", "idle_time"), ("fault", "fault_time")):
+            assert max(r[key] for r in ranks) == pytest.approx(rep[total])
 
     def test_single_rank_never_communicates(self):
         c = SimulatedCluster(1)

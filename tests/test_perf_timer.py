@@ -1,0 +1,66 @@
+"""Wall-clock timing helpers."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.obs import MetricsRegistry
+from repro.perf import Timer, TimingStats, time_callable
+
+
+class TestTimer:
+    def test_context_manager_measures(self):
+        with Timer() as t:
+            sum(range(1000))
+        assert t.elapsed > 0.0
+        assert not t.running
+
+    def test_explicit_start_stop_and_reuse(self):
+        t = Timer()
+        t.start()
+        assert t.running
+        first = t.stop()
+        assert first == t.elapsed > 0.0
+        t.start()  # reusable
+        assert t.stop() > 0.0
+
+    def test_stop_before_start_raises(self):
+        with pytest.raises(ValidationError):
+            Timer().stop()
+
+    def test_double_start_raises(self):
+        t = Timer().start()
+        with pytest.raises(ValidationError):
+            t.start()
+        t.stop()
+
+
+class TestTimingStats:
+    def test_stats_fields(self):
+        stats = TimingStats(times=(0.3, 0.1, 0.2))
+        assert stats.repeats == 3
+        assert stats.min == 0.1
+        assert stats.mean == pytest.approx(0.2)
+        assert stats.std == pytest.approx(0.1)
+        assert float(stats) == stats.min  # min stays the headline
+
+    def test_single_repeat_has_zero_std(self):
+        assert TimingStats(times=(0.5,)).std == 0.0
+
+    def test_observe_into_histogram(self):
+        stats = TimingStats(times=(0.1, 0.2))
+        h = MetricsRegistry().histogram("t")
+        stats.observe_into(h)
+        assert h.count == 2 and h.min == 0.1
+
+
+class TestTimeCallable:
+    def test_returns_full_stats(self):
+        stats = time_callable(lambda: sum(range(2000)), repeats=4)
+        assert isinstance(stats, TimingStats)
+        assert stats.repeats == 4
+        assert 0.0 <= stats.min <= stats.mean
+        assert stats.std >= 0.0
+
+    def test_repeats_validated(self):
+        with pytest.raises(ValidationError):
+            time_callable(lambda: None, repeats=0)
