@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands cover the library's headline flows without writing code:
+Five commands cover the library's headline flows without writing code:
 
 * ``price`` — price one contract with the MC engine and a confidence
   interval (optionally against the matching closed form);
@@ -12,7 +12,11 @@ Four commands cover the library's headline flows without writing code:
 * ``trace`` — run one parallel pricing job with the tracer attached and
   write a Perfetto-loadable ``<out>.trace.json`` plus a canonical
   ``<out>.metrics.json`` snapshot (optionally under an injected fault
-  plan — the chaos-trace workflow from docs/tutorial).
+  plan — the chaos-trace workflow from docs/tutorial);
+* ``verify`` — replay the correctness-verification corpus (differential
+  oracle, metamorphic properties, golden-master diff, determinism checks)
+  and exit nonzero on any violation; ``--update`` rebaselines the golden
+  snapshot after an intentional numerical change.
 
 The functions return an exit code and print to stdout, so they are unit-
 testable without subprocesses.
@@ -93,6 +97,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--straggler-rate", type=float, default=0.25)
     p_trace.add_argument("--policy", choices=("fail_fast", "retry", "degrade"),
                          default="retry")
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="run the correctness-verification suite: differential oracle, "
+             "metamorphic properties, golden-master diff, determinism checks",
+    )
+    p_verify.add_argument("--golden", default="tests/golden/verify_corpus.json",
+                          help="golden snapshot path (default: %(default)s)")
+    p_verify.add_argument("--update", action="store_true",
+                          help="rebaseline: overwrite the golden snapshot with "
+                               "this run's prices instead of diffing")
+    p_verify.add_argument("--report", metavar="PATH", default=None,
+                          help="write a machine-readable JSON report here")
+    p_verify.add_argument("--skip", action="append", default=[],
+                          choices=("oracle", "metamorphic", "golden",
+                                   "determinism"),
+                          help="skip one section (repeatable)")
 
     p_book = sub.add_parser("portfolio", help="schedule a random book and "
                                               "compare policies")
@@ -261,6 +282,86 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.verify import (build_snapshot, default_corpus, diff_golden,
+                              load_snapshot, run_determinism, run_metamorphic,
+                              run_oracle, save_snapshot)
+    from repro.errors import ValidationError
+
+    skip = set(args.skip)
+    corpus = default_corpus()
+    report_doc: dict = {}
+    ok = True
+
+    snapshot = None
+    if "golden" not in skip and not args.update:
+        # Fail fast on a missing/stale snapshot before pricing anything.
+        try:
+            snapshot = load_snapshot(args.golden)
+        except ValidationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    oracle = None
+    if "oracle" not in skip or "golden" not in skip:
+        # One pricing pass feeds both the cross-engine check and the golden
+        # diff — the corpus is the expensive part, not the comparisons.
+        oracle = run_oracle(corpus)
+    if "oracle" not in skip:
+        report_doc["oracle"] = oracle.to_dict()
+        n_cells = sum(len(c) for c in oracle.cells.values())
+        print(f"oracle       : {len(oracle.cells)} cases, {n_cells} engine "
+              f"cells, {len(oracle.discrepancies)} discrepancies")
+        for d in oracle.discrepancies:
+            print(f"  FAIL {d}")
+        ok &= oracle.ok
+
+    if "metamorphic" not in skip:
+        props = run_metamorphic()
+        report_doc["metamorphic"] = [p.to_dict() for p in props]
+        bad = [p for p in props if not p.ok]
+        print(f"metamorphic  : {len(props)} properties, {len(bad)} violated")
+        for p in bad:
+            print(f"  FAIL {p}")
+        ok &= not bad
+
+    if "golden" not in skip:
+        if args.update:
+            save_snapshot(build_snapshot(corpus, cells_by_case=oracle.cells),
+                          args.golden)
+            print(f"golden       : rebaselined -> {args.golden}")
+        else:
+            diff = diff_golden(snapshot, corpus, cells_by_case=oracle.cells)
+            report_doc["golden"] = diff.to_dict()
+            print(f"golden       : {len(diff.deltas)} cells diffed, "
+                  f"{len(diff.failures)} failures")
+            for d in diff.failures:
+                print(f"  FAIL {d}")
+            ok &= diff.ok
+
+    if "determinism" not in skip:
+        checks = run_determinism()
+        report_doc["determinism"] = [c.to_dict() for c in checks]
+        bad = [c for c in checks if not c.ok]
+        print(f"determinism  : {len(checks)} checks, {len(bad)} "
+              f"nondeterministic")
+        for c in bad:
+            print(f"  FAIL {c}")
+        ok &= not bad
+
+    report_doc["ok"] = bool(ok)
+    if args.report:
+        from repro.perf.reporting import write_text
+
+        path = write_text(args.report, _json.dumps(report_doc, indent=2,
+                                                   sort_keys=True) + "\n")
+        print(f"report       : {path}")
+    print("verify       :", "PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
 def _cmd_portfolio(args: argparse.Namespace) -> int:
     from repro.core import PortfolioPricer
     from repro.utils import Table
@@ -288,6 +389,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_scaling(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "verify":
+        return _cmd_verify(args)
     return _cmd_portfolio(args)
 
 

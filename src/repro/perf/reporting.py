@@ -28,6 +28,20 @@ __all__ = [
 ]
 
 
+def _csv_cell(value) -> str:
+    """RFC 4180 escaping for one cell.
+
+    ``csv.writer`` with ``lineterminator="\\n"`` only quotes characters it
+    considers special — a bare ``\\r`` inside a cell slips through unquoted
+    and corrupts the row for strict readers. Escape explicitly: quote any
+    cell containing a comma, quote, CR or LF, doubling embedded quotes.
+    """
+    text = value if isinstance(value, str) else str(value)
+    if any(ch in text for ch in (",", '"', "\n", "\r")):
+        return '"' + text.replace('"', '""') + '"'
+    return text
+
+
 def table_to_csv(table: Table, *, floatfmt: str | None = None) -> str:
     """Render a :class:`Table` as CSV text (header row + data rows).
 
@@ -35,19 +49,18 @@ def table_to_csv(table: Table, *, floatfmt: str | None = None) -> str:
     machine-consumer format, and rounding it would make artifact diffs lie
     about what was measured. Pass ``floatfmt`` (e.g. ``table.floatfmt``)
     to opt into the same display rounding :func:`table_to_markdown`
-    applies.
+    applies. Cells are escaped per RFC 4180 (commas, quotes and embedded
+    line breaks — including bare ``\\r`` — are quoted).
     """
     if not isinstance(table, Table):
         raise ValidationError("table_to_csv expects a repro Table")
-    buf = io.StringIO()
-    writer = csv.writer(buf, lineterminator="\n")
-    writer.writerow(list(table.headers))
+    lines = [",".join(_csv_cell(h) for h in table.headers)]
     for row in table.rows:
         if floatfmt is not None:
             row = [format(v, floatfmt) if isinstance(v, float) else v
                    for v in row]
-        writer.writerow(row)
-    return buf.getvalue()
+        lines.append(",".join(_csv_cell(v) for v in row))
+    return "\n".join(lines) + "\n"
 
 
 def table_to_markdown(table: Table) -> str:

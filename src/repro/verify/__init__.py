@@ -1,0 +1,36 @@
+"""Correctness-verification layer: the gate every refactor must pass.
+
+Four pillars, one corpus:
+
+* :mod:`repro.verify.contracts` — the canonical contract corpus and its
+  config hashes;
+* :mod:`repro.verify.oracle` — differential cross-engine pricing with
+  statistically justified tolerance bands;
+* :mod:`repro.verify.metamorphic` — financial identities and invariances
+  (parity, monotonicity, homogeneity, dimension reduction, schedule
+  invariance);
+* :mod:`repro.verify.golden` — committed golden-master snapshots and the
+  machine-readable diff behind ``repro verify``;
+* :mod:`repro.verify.determinism` — bitwise replay checks across
+  backends, fault injection and repeated runs.
+"""
+
+from repro.verify.contracts import (VerifyCase, canonical_json, config_hash,
+                                    default_corpus, describe_case)
+from repro.verify.determinism import (DeterminismResult, float_bits,
+                                      run_determinism)
+from repro.verify.golden import (GoldenDelta, GoldenReport, build_snapshot,
+                                 diff_golden, load_snapshot, save_snapshot)
+from repro.verify.metamorphic import PropertyResult, run_metamorphic
+from repro.verify.oracle import (Discrepancy, EngineCell, OracleReport,
+                                 run_case, run_oracle)
+
+__all__ = [
+    "VerifyCase", "canonical_json", "config_hash", "default_corpus",
+    "describe_case",
+    "EngineCell", "Discrepancy", "OracleReport", "run_case", "run_oracle",
+    "PropertyResult", "run_metamorphic",
+    "GoldenDelta", "GoldenReport", "build_snapshot", "diff_golden",
+    "load_snapshot", "save_snapshot",
+    "DeterminismResult", "float_bits", "run_determinism",
+]

@@ -1,0 +1,217 @@
+"""Determinism checker: seeded runs must be **bitwise** reproducible.
+
+The parallel layers promise more than statistical agreement — a seeded run
+is a pure function of ``(seed, scheme, p)``, so its price must not change
+by a single bit when the *execution* changes:
+
+* serial vs thread vs process backends (same substreams, same reduction
+  order);
+* fault-free vs fault-injected-with-retry (each attempt replays a fresh
+  copy of the rank task, so substreams are never consumed twice);
+* degrade-mode replays (a degraded run is deterministic in its plan);
+* repeated replays of every seeded engine (MC, QMC, MLMC, LSM, lattice,
+  PDE) — including MLMC and LSM executed *inside* backend workers, which
+  is how a real scaling run would ship them to a process pool.
+
+A violation means a nondeterministic reduction (unordered sum, shared RNG
+state, thread-dependent accumulation) crept in; the checker reports the
+check, the differing executions, and the hex bit patterns side by side so
+the drift is undeniable.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.market.gbm import MultiAssetGBM
+from repro.payoffs.asian import AsianGeometricCall
+from repro.payoffs.basket import BasketCall
+from repro.payoffs.vanilla import Call, Put
+
+__all__ = ["DeterminismResult", "float_bits", "run_determinism",
+           "DETERMINISM_CHECKS", "mlmc_worker", "lsm_worker"]
+
+
+def float_bits(x: float) -> str:
+    """IEEE-754 bit pattern of ``x`` as a hex string (bitwise identity)."""
+    return struct.pack(">d", float(x)).hex()
+
+
+@dataclass(frozen=True)
+class DeterminismResult:
+    """Outcome of one determinism check: a set of executions and their bits."""
+
+    check: str
+    subject: str
+    ok: bool
+    bits: dict  # execution label -> hex bit pattern
+    detail: str = ""
+
+    def __str__(self) -> str:
+        status = "ok" if self.ok else "NONDETERMINISTIC"
+        pat = ", ".join(f"{k}={v}" for k, v in self.bits.items())
+        return (f"[{status}] {self.check} — {self.subject}: {pat}"
+                + (f" — {self.detail}" if self.detail else ""))
+
+    def to_dict(self) -> dict:
+        return {"check": self.check, "subject": self.subject, "ok": self.ok,
+                "bits": dict(self.bits), "detail": self.detail}
+
+
+def _verdict(check, subject, bits, detail="") -> DeterminismResult:
+    ok = len(set(bits.values())) == 1
+    return DeterminismResult(check, subject, ok, dict(bits), detail)
+
+
+# ----------------------------------------------------------------------
+# Module-level workers: ProcessBackend pickles these, so they cannot be
+# closures. Each takes a plain dict of settings and returns the price.
+# ----------------------------------------------------------------------
+
+def mlmc_worker(cfg: dict) -> float:
+    """Price a 1-d discrete geometric Asian via MLMC from a settings dict."""
+    from repro.mc.multilevel import mlmc_price
+
+    model = MultiAssetGBM.single(cfg["spot"], cfg["vol"], cfg["rate"])
+    result = mlmc_price(model, AsianGeometricCall(cfg["strike"]), cfg["expiry"],
+                        base_steps=cfg["base_steps"], levels=cfg["levels"],
+                        target_stderr=cfg["target_stderr"], pilot=cfg["pilot"],
+                        seed=cfg["seed"],
+                        max_paths_per_level=cfg["max_paths_per_level"])
+    return result.price
+
+
+def lsm_worker(cfg: dict) -> float:
+    """Price a 1-d American put via Longstaff–Schwartz from a settings dict."""
+    from repro.mc.american import lsm_price
+
+    model = MultiAssetGBM.single(cfg["spot"], cfg["vol"], cfg["rate"])
+    result = lsm_price(model, Put(cfg["strike"]), cfg["expiry"], cfg["steps"],
+                       cfg["n_paths"], degree=cfg["degree"], seed=cfg["seed"])
+    return result.price
+
+
+MLMC_CFG = {"spot": 100.0, "vol": 0.2, "rate": 0.05, "strike": 100.0,
+            "expiry": 1.0, "base_steps": 2, "levels": 2,
+            "target_stderr": 0.05, "pilot": 256, "max_paths_per_level": 4096,
+            "seed": 21}
+
+LSM_CFG = {"spot": 100.0, "vol": 0.2, "rate": 0.05, "strike": 100.0,
+           "expiry": 1.0, "steps": 10, "n_paths": 2000, "degree": 2,
+           "seed": 22}
+
+
+# ----------------------------------------------------------------------
+# Checks
+# ----------------------------------------------------------------------
+
+def check_backend_invariance(n_paths: int, seed: int) -> list[DeterminismResult]:
+    """ParallelMCPricer must be bitwise identical on every backend."""
+    from repro.core.mc_parallel import ParallelMCPricer
+    from repro.parallel.backends import make_backend
+
+    model = MultiAssetGBM.equicorrelated(3, 100.0, 0.25, 0.05, 0.3)
+    payoff = BasketCall([1 / 3] * 3, 100.0)
+    bits = {}
+    for name in ("serial", "thread", "process"):
+        with make_backend(name, 2) as backend:
+            pricer = ParallelMCPricer(n_paths, seed=seed, backend=backend)
+            bits[name] = float_bits(pricer.price(model, payoff, 1.0, 4).price)
+    return [_verdict("backend-invariance", "parallel-mc basket-d3 p=4", bits)]
+
+
+def check_fault_invariance(n_paths: int, seed: int) -> list[DeterminismResult]:
+    """A retried run equals the fault-free run; degrade replays stably."""
+    from repro.core.mc_parallel import ParallelMCPricer
+    from repro.parallel.faults import FaultPlan
+
+    model = MultiAssetGBM.single(100.0, 0.2, 0.05)
+    payoff = Call(100.0)
+
+    def run(**kw):
+        return ParallelMCPricer(n_paths, seed=seed, **kw).price(
+            model, payoff, 1.0, 4).price
+
+    out = [_verdict("fault-invariance", "retry == fault-free", {
+        "fault-free": float_bits(run()),
+        "retry-after-crash": float_bits(
+            run(faults=FaultPlan.single_crash(1), policy="retry")),
+    })]
+    # Degrade drops paths so it differs from fault-free — but two replays
+    # of the *same* degraded plan must be bitwise identical.
+    degraded = {
+        f"replay{i}": float_bits(
+            run(faults=FaultPlan.single_crash(1, permanent=True),
+                policy="degrade"))
+        for i in range(2)
+    }
+    out.append(_verdict("fault-invariance", "degrade replay stable", degraded))
+    return out
+
+
+def check_engine_replay(n_paths: int, seed: int) -> list[DeterminismResult]:
+    """Every seeded/deterministic engine prices identically twice in a row."""
+    from repro.lattice import binomial_price
+    from repro.mc import MonteCarloEngine, QMCSobol
+    from repro.pde import fd_price
+
+    model = MultiAssetGBM.single(100.0, 0.2, 0.05)
+    runs = {
+        "mc": lambda: MonteCarloEngine(n_paths, seed=seed).price(
+            model, Call(100.0), 1.0).price,
+        "qmc": lambda: MonteCarloEngine(
+            4096, technique=QMCSobol(replicates=4, seed=seed)).price(
+            model, Call(100.0), 1.0).price,
+        "mlmc": lambda: mlmc_worker(MLMC_CFG),
+        "lsm": lambda: lsm_worker(LSM_CFG),
+        "lattice": lambda: binomial_price(100.0, Put(100.0), 0.2, 0.05, 1.0,
+                                          128, american=True).price,
+        "pde": lambda: fd_price(100.0, Put(100.0), 0.2, 0.05, 1.0,
+                                n_space=64, n_time=32, american=True).price,
+    }
+    return [
+        _verdict("engine-replay", name,
+                 {f"run{i}": float_bits(fn()) for i in range(2)})
+        for name, fn in runs.items()
+    ]
+
+
+def check_worker_invariance(n_paths: int, seed: int) -> list[DeterminismResult]:
+    """MLMC and LSM shipped through backend workers stay bitwise identical.
+
+    This is the cross-backend guarantee for the *stateful* estimators: the
+    multilevel ladder and the regression both involve ordered reductions
+    that would betray a threading bug immediately.
+    """
+    from repro.parallel.backends import make_backend
+
+    out = []
+    for label, worker, cfg in (("mc.multilevel", mlmc_worker, MLMC_CFG),
+                               ("mc.american", lsm_worker, LSM_CFG)):
+        bits = {}
+        for name in ("serial", "thread", "process"):
+            with make_backend(name, 2) as backend:
+                prices = backend.map(worker, [dict(cfg), dict(cfg)])
+            if float_bits(prices[0]) != float_bits(prices[1]):
+                bits[f"{name}-intra"] = "mismatch"
+            bits[name] = float_bits(prices[0])
+        out.append(_verdict("worker-invariance", label, bits))
+    return out
+
+
+#: Name → check callable; each takes ``(n_paths, seed)``.
+DETERMINISM_CHECKS = {
+    "backend-invariance": check_backend_invariance,
+    "fault-invariance": check_fault_invariance,
+    "engine-replay": check_engine_replay,
+    "worker-invariance": check_worker_invariance,
+}
+
+
+def run_determinism(*, n_paths: int = 20_000, seed: int = 17) -> list[DeterminismResult]:
+    """Run every determinism check; deterministic in ``(n_paths, seed)``."""
+    results: list[DeterminismResult] = []
+    for check in DETERMINISM_CHECKS.values():
+        results.extend(check(n_paths, seed))
+    return results

@@ -1,0 +1,184 @@
+"""Golden-master store: committed snapshots of the verification corpus.
+
+A snapshot records, per case, the config hash plus every engine cell
+(price, band, diagnostics). ``diff_golden`` re-prices the corpus and
+compares each cell against its snapshot:
+
+* **hash mismatch** — the case definition changed; the diff demands an
+  intentional rebaseline (``repro verify --update``) instead of silently
+  comparing different contracts.
+* **price drift** — |new − golden| must stay within the cell's band (the
+  larger of the recorded and recomputed bands, since both are estimates of
+  the same engine's uncertainty). Seeded engines are bitwise stable, so in
+  practice a clean run drifts by exactly 0.0 — the band only matters when
+  an engine's internals legitimately changed within tolerance.
+* **coverage changes** — cases or engines added/removed are reported
+  explicitly, never ignored.
+
+The snapshot is plain canonical JSON so that git diffs of a rebaseline are
+reviewable number by number.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ValidationError
+from repro.verify.contracts import (VerifyCase, canonical_json, config_hash,
+                                    default_corpus)
+from repro.verify.oracle import run_case
+
+__all__ = ["SNAPSHOT_VERSION", "GoldenDelta", "GoldenReport",
+           "build_snapshot", "save_snapshot", "load_snapshot", "diff_golden"]
+
+SNAPSHOT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class GoldenDelta:
+    """One cell-level (or case-level) difference against the snapshot."""
+
+    case: str
+    engine: str
+    status: str  # "ok" | "drift" | "hash-mismatch" | "missing" | "extra"
+    golden: float | None = None
+    current: float | None = None
+    diff: float | None = None
+    allowed: float | None = None
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def __str__(self) -> str:
+        head = f"[{self.status}] {self.case}/{self.engine}"
+        if self.diff is not None:
+            head += (f": golden {self.golden:.6f} vs current "
+                     f"{self.current:.6f} (|diff| {self.diff:.3e}, allowed "
+                     f"{self.allowed:.3e})")
+        return head + (f" — {self.detail}" if self.detail else "")
+
+    def to_dict(self) -> dict:
+        return {"case": self.case, "engine": self.engine,
+                "status": self.status, "golden": self.golden,
+                "current": self.current, "diff": self.diff,
+                "allowed": self.allowed, "detail": self.detail}
+
+
+@dataclass
+class GoldenReport:
+    """The full golden diff: every cell compared, failures first."""
+
+    deltas: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(d.ok for d in self.deltas)
+
+    @property
+    def failures(self) -> list:
+        return [d for d in self.deltas if not d.ok]
+
+    def to_dict(self) -> dict:
+        return {"ok": self.ok,
+                "n_cells": len(self.deltas),
+                "n_failures": len(self.failures),
+                "deltas": [d.to_dict() for d in self.deltas]}
+
+
+def build_snapshot(corpus: list[VerifyCase] | None = None, *,
+                   cells_by_case: dict | None = None) -> dict:
+    """Price the corpus and package it as a snapshot document.
+
+    ``cells_by_case`` (case name → ``{engine: EngineCell}``) lets a caller
+    that already ran the oracle reuse those prices instead of re-pricing.
+    """
+    corpus = default_corpus() if corpus is None else corpus
+    cases = {}
+    for case in corpus:
+        cells = (cells_by_case or {}).get(case.name) or run_case(case)
+        cases[case.name] = {
+            "hash": config_hash(case),
+            "engines": {name: cell.to_dict()
+                        for name, cell in sorted(cells.items())},
+        }
+    return {"version": SNAPSHOT_VERSION, "cases": cases}
+
+
+def save_snapshot(snapshot: dict, path: str | Path) -> None:
+    """Write a snapshot as pretty canonical JSON (stable git diffs)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(json.loads(canonical_json(snapshot)),
+                               indent=2, sort_keys=True) + "\n")
+
+
+def load_snapshot(path: str | Path) -> dict:
+    path = Path(path)
+    if not path.exists():
+        raise ValidationError(
+            f"golden snapshot not found at {path}; run "
+            "`repro verify --update` to create it")
+    snapshot = json.loads(path.read_text())
+    version = snapshot.get("version")
+    if version != SNAPSHOT_VERSION:
+        raise ValidationError(
+            f"golden snapshot {path} has version {version!r}; this build "
+            f"reads version {SNAPSHOT_VERSION} — rebaseline with --update")
+    return snapshot
+
+
+def diff_golden(snapshot: dict, corpus: list[VerifyCase] | None = None, *,
+                cells_by_case: dict | None = None) -> GoldenReport:
+    """Re-price the corpus and diff every cell against the snapshot.
+
+    ``cells_by_case`` reuses already-computed oracle cells (see
+    :func:`build_snapshot`).
+    """
+    corpus = default_corpus() if corpus is None else corpus
+    report = GoldenReport()
+    golden_cases = dict(snapshot.get("cases", {}))
+
+    for case in corpus:
+        entry = golden_cases.pop(case.name, None)
+        if entry is None:
+            report.deltas.append(GoldenDelta(
+                case.name, "*", "extra",
+                detail="case not in snapshot; rebaseline with --update"))
+            continue
+        if entry.get("hash") != config_hash(case):
+            report.deltas.append(GoldenDelta(
+                case.name, "*", "hash-mismatch",
+                detail="case definition changed; rebaseline with --update"))
+            continue
+        cells = (cells_by_case or {}).get(case.name) or run_case(case)
+        golden_engines = dict(entry.get("engines", {}))
+        for name in sorted(cells):
+            cell = cells[name]
+            gold = golden_engines.pop(name, None)
+            if gold is None:
+                report.deltas.append(GoldenDelta(
+                    case.name, name, "extra",
+                    current=cell.price,
+                    detail="engine not in snapshot; rebaseline with --update"))
+                continue
+            diff = abs(cell.price - gold["price"])
+            allowed = max(cell.band, gold["band"])
+            status = "ok" if diff <= allowed else "drift"
+            report.deltas.append(GoldenDelta(
+                case.name, name, status, golden=gold["price"],
+                current=cell.price, diff=diff, allowed=allowed))
+        for name in sorted(golden_engines):
+            report.deltas.append(GoldenDelta(
+                case.name, name, "missing",
+                golden=golden_engines[name]["price"],
+                detail="engine in snapshot but no longer priced"))
+
+    for name in sorted(golden_cases):
+        report.deltas.append(GoldenDelta(
+            name, "*", "missing",
+            detail="case in snapshot but not in corpus"))
+    return report

@@ -49,6 +49,31 @@ class TestCsv:
         with pytest.raises(ValidationError):
             table_to_csv("not a table")
 
+    def test_cells_with_commas_and_quotes_are_escaped(self):
+        t = Table(["engine", "note"])
+        t.add_row(["mc, qmc", 'says "hi"'])
+        text = table_to_csv(t)
+        assert '"mc, qmc"' in text
+        assert '"says ""hi"""' in text
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[1] == ["mc, qmc", 'says "hi"']
+
+    def test_bare_carriage_return_is_quoted(self):
+        # csv.writer with lineterminator="\n" leaves a lone \r unquoted,
+        # which corrupts the row for RFC 4180 readers — the regression this
+        # exporter fixes.
+        t = Table(["label"])
+        t.add_row(["a\rb"])
+        text = table_to_csv(t)
+        assert '"a\rb"' in text
+        assert text.count("\n") == 2  # header + one data row, nothing split
+
+    def test_embedded_newline_is_quoted(self):
+        t = Table(["label"])
+        t.add_row(["two\nlines"])
+        rows = list(csv.reader(io.StringIO(table_to_csv(t))))
+        assert rows[1] == ["two\nlines"]
+
 
 class TestMarkdown:
     def test_structure(self, table):

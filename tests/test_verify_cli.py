@@ -1,0 +1,52 @@
+"""Tests for the ``repro verify`` CLI subcommand."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_skip_everything_but_fast_sections(capsys):
+    code = main(["verify", "--skip", "oracle", "--skip", "golden"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "metamorphic" in out and "determinism" in out
+    assert "oracle" not in out.splitlines()[0]
+    assert "PASS" in out
+
+
+def test_missing_golden_fails_fast_with_actionable_error(tmp_path, capsys):
+    code = main(["verify", "--golden", str(tmp_path / "nope.json")])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "--update" in err
+
+
+@pytest.mark.oracle
+def test_update_then_replay_round_trip(tmp_path, capsys):
+    golden = tmp_path / "golden.json"
+    report = tmp_path / "report.json"
+
+    code = main(["verify", "--skip", "metamorphic", "--skip", "determinism",
+                 "--update", "--golden", str(golden)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "rebaselined" in out
+    assert golden.exists()
+
+    code = main(["verify", "--skip", "metamorphic", "--skip", "determinism",
+                 "--golden", str(golden), "--report", str(report)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "0 failures" in out and "PASS" in out
+
+    doc = json.loads(report.read_text())
+    assert doc["ok"] is True
+    assert doc["oracle"]["ok"] is True
+    assert doc["golden"]["n_failures"] == 0
+    # The machine-readable report carries every engine cell with its band.
+    cell = doc["oracle"]["cases"]["european-call-1d"]["engines"]["mc"]
+    assert cell["band"] > 0

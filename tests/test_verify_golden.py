@@ -1,0 +1,118 @@
+"""Tests for the golden-master store (repro.verify.golden)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.market import MultiAssetGBM
+from repro.payoffs import Call
+from repro.verify.contracts import VerifyCase
+from repro.verify.golden import (SNAPSHOT_VERSION, build_snapshot,
+                                 diff_golden, load_snapshot, save_snapshot)
+from repro.workloads.generators import Workload
+
+
+def _tiny_corpus(steps: int = 64) -> list[VerifyCase]:
+    model = MultiAssetGBM.single(100.0, 0.2, 0.05)
+    return [VerifyCase(
+        name="call-1d",
+        workload=Workload("call-1d", model, Call(100.0), 1.0),
+        engines={
+            "analytic": {"kind": "bs", "spot": 100.0, "strike": 100.0,
+                         "vol": 0.2, "rate": 0.05, "expiry": 1.0,
+                         "option": "call"},
+            "lattice": {"steps": steps},
+        },
+    )]
+
+
+def test_snapshot_round_trip(tmp_path):
+    corpus = _tiny_corpus()
+    snapshot = build_snapshot(corpus)
+    path = tmp_path / "golden.json"
+    save_snapshot(snapshot, path)
+    report = diff_golden(load_snapshot(path), corpus)
+    assert report.ok
+    # Seeded/deterministic engines reproduce bitwise: diffs of exactly 0.
+    assert all(d.diff == 0.0 for d in report.deltas)
+    assert len(report.deltas) == 2
+
+
+def test_snapshot_file_is_reviewable_json(tmp_path):
+    path = tmp_path / "golden.json"
+    save_snapshot(build_snapshot(_tiny_corpus()), path)
+    doc = json.loads(path.read_text())
+    assert doc["version"] == SNAPSHOT_VERSION
+    cell = doc["cases"]["call-1d"]["engines"]["analytic"]
+    assert set(cell) >= {"price", "band"}
+    # Stable formatting: a rebaseline diffs number by number.
+    assert path.read_text() == path.read_text()
+
+
+def test_price_drift_is_flagged_with_names(tmp_path):
+    corpus = _tiny_corpus()
+    snapshot = build_snapshot(corpus)
+    snapshot["cases"]["call-1d"]["engines"]["analytic"]["price"] += 1.0
+    report = diff_golden(snapshot, corpus)
+    assert not report.ok
+    (bad,) = report.failures
+    assert (bad.case, bad.engine, bad.status) == ("call-1d", "analytic",
+                                                  "drift")
+    assert bad.diff == pytest.approx(1.0)
+    assert bad.diff > bad.allowed
+    text = str(bad)
+    assert "call-1d" in text and "analytic" in text and "allowed" in text
+
+
+def test_changed_case_definition_demands_rebaseline():
+    snapshot = build_snapshot(_tiny_corpus(steps=64))
+    report = diff_golden(snapshot, _tiny_corpus(steps=128))
+    (bad,) = report.failures
+    assert bad.status == "hash-mismatch"
+    assert "--update" in bad.detail
+
+
+def test_coverage_changes_are_reported():
+    corpus = _tiny_corpus()
+    snapshot = build_snapshot(corpus)
+    # Corpus case absent from the snapshot → "extra"; snapshot case gone
+    # from the corpus → "missing". Neither is silently ignored.
+    report = diff_golden({"version": SNAPSHOT_VERSION, "cases": {}}, corpus)
+    assert [d.status for d in report.deltas] == ["extra"]
+    report = diff_golden(snapshot, [])
+    assert [d.status for d in report.deltas] == ["missing"]
+
+
+def test_missing_snapshot_has_actionable_error(tmp_path):
+    with pytest.raises(ValidationError, match="--update"):
+        load_snapshot(tmp_path / "nope.json")
+
+
+def test_version_mismatch_rejected(tmp_path):
+    path = tmp_path / "golden.json"
+    path.write_text(json.dumps({"version": 999, "cases": {}}))
+    with pytest.raises(ValidationError, match="version"):
+        load_snapshot(path)
+
+
+def test_report_to_dict_structure(tmp_path):
+    corpus = _tiny_corpus()
+    report = diff_golden(build_snapshot(corpus), corpus)
+    doc = report.to_dict()
+    assert doc["ok"] is True
+    assert doc["n_cells"] == 2 and doc["n_failures"] == 0
+
+
+@pytest.mark.oracle
+def test_committed_golden_corpus_replays_clean():
+    """The snapshot in git must match a fresh pricing of the full corpus."""
+    from pathlib import Path
+
+    snapshot = load_snapshot(Path(__file__).parent / "golden"
+                             / "verify_corpus.json")
+    report = diff_golden(snapshot)
+    assert report.ok, "\n".join(str(d) for d in report.failures)
+    assert all(d.diff == 0.0 for d in report.deltas)
