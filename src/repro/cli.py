@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five commands cover the library's headline flows without writing code:
+Six commands cover the library's headline flows without writing code:
 
 * ``price`` — price one contract with the MC engine and a confidence
   interval (optionally against the matching closed form);
@@ -8,7 +8,11 @@ Five commands cover the library's headline flows without writing code:
   simulated machine and print the full diagnostic table (optionally
   emitting a Chrome trace of the largest run via ``--emit-trace``);
 * ``portfolio`` — price a seeded random book under each scheduling policy
-  and compare makespans;
+  and compare makespans (one shared price cache values each contract once
+  across the four runs);
+* ``serve`` — push a request stream through the batched
+  :class:`~repro.serve.PricingService` and report per-pass throughput,
+  batch/map counts and cache hit rate;
 * ``trace`` — run one parallel pricing job with the tracer attached and
   write a Perfetto-loadable ``<out>.trace.json`` plus a canonical
   ``<out>.metrics.json`` snapshot (optionally under an injected fault
@@ -121,6 +125,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_book.add_argument("--paths", type=int, default=20_000)
     p_book.add_argument("--ranks", type=int, default=4)
     p_book.add_argument("--seed", type=int, default=0)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run a request stream through the batched pricing service "
+             "(cache + chunked map) and report throughput",
+    )
+    p_serve.add_argument("--requests", type=int, default=48,
+                         help="stream length; beyond --contracts the stream "
+                              "repeats contracts, exercising the cache")
+    p_serve.add_argument("--contracts", type=int, default=16,
+                         help="distinct contracts in the book")
+    p_serve.add_argument("--paths", type=int, default=5_000,
+                         help="MC paths per request")
+    p_serve.add_argument("--backend", choices=("serial", "thread", "process"),
+                         default="serial")
+    p_serve.add_argument("--workers", type=int, default=None,
+                         help="backend worker count (default: os.cpu_count)")
+    p_serve.add_argument("--batch", type=int, default=16,
+                         help="max batch size")
+    p_serve.add_argument("--chunksize", default="auto",
+                         help='"auto", "none", or an int (tasks per dispatch)')
+    p_serve.add_argument("--cache", type=int, default=256,
+                         help="price-cache capacity (0 disables caching)")
+    p_serve.add_argument("--repeat", type=int, default=2,
+                         help="replay the stream this many times "
+                              "(pass 2+ shows the cache-hit fast path)")
+    p_serve.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -364,19 +395,91 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
 def _cmd_portfolio(args: argparse.Namespace) -> int:
     from repro.core import PortfolioPricer
+    from repro.serve import PriceCache
     from repro.utils import Table
     from repro.workloads import random_portfolio
 
     book = random_portfolio(args.contracts, dim=4, seed=args.seed)
+    # Prices are schedule-invariant, so one cache across the four runs
+    # values each contract exactly once (the other three runs replay it).
+    cache = PriceCache(max(4 * args.contracts, 16))
     table = Table(["schedule", "makespan [s]", "imbalance", "book value"],
                   title=f"{args.contracts} contracts on {args.ranks} ranks",
                   floatfmt=".4g")
     for sched in ("block", "cyclic", "lpt", "dynamic"):
-        run = PortfolioPricer(args.paths, schedule=sched, seed=args.seed).run(
-            book, args.ranks
-        )
+        run = PortfolioPricer(args.paths, schedule=sched, seed=args.seed,
+                              cache=cache).run(book, args.ranks)
         table.add_row([sched, run.sim_time, run.imbalance, run.total_value])
     print(table.render())
+    print(f"cache    : {cache.misses} contracts valued, {cache.hits} replayed "
+          f"from cache (hit rate {cache.hit_rate:.0%})")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.obs import MetricsRegistry
+    from repro.parallel.backends import make_backend
+    from repro.serve import PriceCache, PricingRequest, PricingService
+    from repro.utils import Table
+    from repro.workloads import random_portfolio
+
+    if args.chunksize == "auto":
+        chunksize: int | str | None = "auto"
+    elif args.chunksize == "none":
+        chunksize = None
+    else:
+        try:
+            chunksize = int(args.chunksize)
+        except ValueError:
+            print(f"error: --chunksize must be 'auto', 'none' or an int, "
+                  f"got {args.chunksize!r}", file=sys.stderr)
+            return 2
+
+    book = random_portfolio(args.contracts, dim=4, seed=args.seed)
+    # Stream longer than the book → repeated contracts are true duplicates
+    # (same seed), so the cache and in-batch dedup both get exercised.
+    requests = [
+        PricingRequest(book[i % len(book)], engine="mc", n_paths=args.paths,
+                       seed=args.seed + i % len(book), p=2,
+                       name=book[i % len(book)].name)
+        for i in range(args.requests)
+    ]
+
+    metrics = MetricsRegistry()
+    cache = PriceCache(args.cache) if args.cache > 0 else None
+    backend = make_backend(args.backend, args.workers)
+    table = Table(["pass", "req/s", "batches", "map calls", "hit rate",
+                   "book value"],
+                  title=(f"{args.requests} requests ({args.contracts} distinct) "
+                         f"— {args.backend} backend, batch={args.batch}, "
+                         f"chunksize={args.chunksize}"),
+                  floatfmt=".4g")
+    try:
+        with PricingService(backend, cache=cache, max_batch=args.batch,
+                            chunksize=chunksize, metrics=metrics) as svc:
+            batches0 = maps0 = hits0 = lookups0 = 0
+            for rep in range(max(args.repeat, 1)):
+                t0 = time.perf_counter()
+                quotes = svc.price_many(requests)
+                wall = time.perf_counter() - t0
+                batches = svc._batcher.batches_cut
+                maps = svc.map_calls
+                hits = cache.hits if cache is not None else 0
+                lookups = (cache.hits + cache.misses) if cache is not None else 0
+                rate = ((hits - hits0) / (lookups - lookups0)
+                        if lookups > lookups0 else 0.0)
+                table.add_row([f"{rep + 1}", len(quotes) / max(wall, 1e-9),
+                               batches - batches0, maps - maps0, rate,
+                               sum(q.price for q in quotes)])
+                batches0, maps0, hits0, lookups0 = batches, maps, hits, lookups
+    finally:
+        backend.close()
+    print(table.render())
+    dedup = metrics.counter("serve.deduped").value
+    if dedup:
+        print(f"dedup    : {dedup:.0f} in-batch duplicate requests fanned out")
     return 0
 
 
@@ -391,6 +494,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_trace(args)
     if args.command == "verify":
         return _cmd_verify(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     return _cmd_portfolio(args)
 
 

@@ -116,6 +116,7 @@ class ParallelMCPricer:
         faults: FaultPlan | None = None,
         policy: FaultPolicy | str | None = None,
         tracer=None,
+        chunksize: int | str | None = None,
     ):
         self.n_paths = check_positive_int("n_paths", n_paths)
         self.technique = technique if technique is not None else PlainMC()
@@ -136,6 +137,10 @@ class ParallelMCPricer:
         self.faults = faults
         self.policy = FaultPolicy.parse(policy)
         self.tracer = tracer
+        #: Forwarded to every backend.map: rank tasks per IPC dispatch
+        #: (None = one, "auto" = suggest_chunksize). Transport only — the
+        #: estimate is chunking-invariant (asserted in the backend tests).
+        self.chunksize = chunksize
 
     # ------------------------------------------------------------------
 
@@ -200,11 +205,13 @@ class ParallelMCPricer:
             partials, fault_report = resilient_map(
                 self.backend, _rank_task, tasks,
                 plan=self.faults, policy=self.policy,
+                chunksize=self.chunksize,
             )
         else:
             # Fault-free fast path: identical to the pre-resilience code
             # (one branch of overhead — asserted <5% by benchmark F13).
-            partials = self.backend.map(_rank_task, tasks)
+            partials = self.backend.map(_rank_task, tasks,
+                                        chunksize=self.chunksize)
             fault_report = None
         wall = time.perf_counter() - wall0
 

@@ -31,10 +31,13 @@ from repro.core.work import WorkModel
 from repro.errors import ValidationError
 from repro.mc.result import MCResult
 from repro.mc.variance_reduction import PlainMC
+from repro.parallel.backends import ExecutionBackend
 from repro.parallel.partition import block_partition
 from repro.parallel.simcluster import MachineSpec, SimulatedCluster
 from repro.rng import Philox4x32
+from repro.serve.cache import PriceCache, stable_key
 from repro.utils.validation import check_positive_int
+from repro.verify.contracts import describe_workload
 from repro.workloads.generators import Workload
 
 __all__ = ["PortfolioPricer", "PortfolioRun"]
@@ -77,6 +80,19 @@ class PortfolioPricer:
     schedule : "block" | "cyclic" | "lpt".
     seed : master seed; contract ``i`` always prices on substream ``i``, so
         prices are schedule- and P-invariant.
+    backend : optional real :class:`~repro.parallel.backends.
+        ExecutionBackend` — contract valuations then run through one
+        chunked ``backend.map`` (true multi-core for a process backend)
+        instead of the in-process loop. Prices are bitwise identical
+        either way: each contract's substream travels with its task.
+    cache : optional :class:`~repro.serve.cache.PriceCache` consulted
+        before any contract is valued. Keys cover the contract config
+        *and* its substream index, so only true replays hit — e.g. the
+        ``repro portfolio`` CLI pricing one book under four schedules
+        computes the prices once. Caching (like the backend choice) only
+        affects wall-clock: the simulated makespan still charges every
+        contract, because the schedule ablation models the compute.
+    chunksize : forwarded to ``backend.map`` (int | "auto" | None).
     """
 
     def __init__(
@@ -88,6 +104,9 @@ class PortfolioPricer:
         spec: MachineSpec | None = None,
         work: WorkModel | None = None,
         steps: int | None = None,
+        backend: ExecutionBackend | None = None,
+        cache: PriceCache | None = None,
+        chunksize: int | str | None = None,
     ):
         self.n_paths = check_positive_int("n_paths", n_paths)
         if schedule not in _SCHEDULES:
@@ -97,8 +116,71 @@ class PortfolioPricer:
         self.spec = spec if spec is not None else MachineSpec()
         self.work = work if work is not None else WorkModel()
         self.steps = None if steps is None else check_positive_int("steps", steps)
+        self.backend = backend
+        self.cache = cache
+        self.chunksize = chunksize
 
     # ------------------------------------------------------------------
+
+    def contract_key(self, workload: Workload, index: int) -> str:
+        """Cache key for contract ``index`` of a book priced by this config.
+
+        Includes the master seed and the substream index — the price of a
+        contract depends on *where in the book it sits* (substream ``i``),
+        so only a true replay of the same slot may hit.
+        """
+        return stable_key({
+            "contract": describe_workload(workload),
+            # Unlike serve quotes, MCResult.meta carries the contract name,
+            # so a hit must match it too.
+            "name": workload.name,
+            "technique": "plain",
+            "n_paths": self.n_paths,
+            "steps": self.steps,
+            "seed": self.seed,
+            "substream": index,
+        })
+
+    def _price_contracts(self, workloads: list[Workload]) -> list[MCResult]:
+        """Value every contract (cache front, then inline or backend.map)."""
+        from repro.core.mc_parallel import _rank_task
+
+        technique = PlainMC()
+        master = Philox4x32(self.seed, stream=0xB00C)
+        gens = master.spawn(len(workloads))
+
+        results: list[MCResult | None] = [None] * len(workloads)
+        miss = list(range(len(workloads)))
+        keys: list[str] | None = None
+        if self.cache is not None:
+            keys = [self.contract_key(w, i) for i, w in enumerate(workloads)]
+            miss = []
+            for i in range(len(workloads)):
+                hit = self.cache.get(keys[i])
+                if hit is not None:
+                    results[i] = hit
+                else:
+                    miss.append(i)
+
+        tasks = [
+            (technique, workloads[i].model, workloads[i].payoff,
+             workloads[i].expiry, self.n_paths, gens[i], self.steps, None)
+            for i in miss
+        ]
+        if self.backend is not None:
+            partials = self.backend.map(_rank_task, tasks,
+                                        chunksize=self.chunksize)
+        else:
+            partials = [_rank_task(t) for t in tasks]
+        for i, part in zip(miss, partials):
+            price, stderr, n_eff = technique.finalize(part)
+            res = MCResult(price=price, stderr=stderr, n_paths=n_eff,
+                           technique="plain",
+                           meta={"contract": workloads[i].name})
+            results[i] = res
+            if self.cache is not None and keys is not None:
+                self.cache.put(keys[i], res)
+        return results  # type: ignore[return-value]
 
     def contract_cost(self, workload: Workload) -> float:
         """Estimated work units to price one contract."""
@@ -144,19 +226,13 @@ class PortfolioPricer:
         costs = [self.contract_cost(w) for w in workloads]
         owner = self._assign(costs, p)
 
-        technique = PlainMC()
-        master = Philox4x32(self.seed, stream=0xB00C)
-        gens = master.spawn(len(workloads))
+        # Valuation (real wall-clock: cache front + optional backend.map) is
+        # decoupled from the simulated schedule accounting below — prices
+        # are bitwise invariant to backend/cache, makespans charge all work.
+        results = self._price_contracts(workloads)
 
         cluster = SimulatedCluster(p, self.spec)
-        results: list[MCResult] = []
-        for i, w in enumerate(workloads):
-            part = technique.partial(w.model, w.payoff, w.expiry, self.n_paths,
-                                     gens[i], steps=self.steps)
-            price, stderr, n_eff = technique.finalize(part)
-            results.append(MCResult(price=price, stderr=stderr, n_paths=n_eff,
-                                    technique="plain",
-                                    meta={"contract": w.name}))
+        for i in range(len(workloads)):
             if self.schedule == "dynamic":
                 # One master→worker dispatch message per contract.
                 cluster.delay(owner[i], self.spec.alpha, kind="comm")

@@ -31,7 +31,10 @@ from repro.parallel.backends import (
     SerialBackend,
     ThreadBackend,
     ProcessBackend,
+    suggest_chunksize,
+    ChunkAutotuner,
 )
+from repro.parallel.shm import SharedArrayRef, ShmSession, ShmWorker
 from repro.parallel.simcluster import MachineSpec, SimulatedCluster
 from repro.parallel.faults import (
     FaultKind,
@@ -63,6 +66,11 @@ __all__ = [
     "SerialBackend",
     "ThreadBackend",
     "ProcessBackend",
+    "suggest_chunksize",
+    "ChunkAutotuner",
+    "SharedArrayRef",
+    "ShmSession",
+    "ShmWorker",
     "MachineSpec",
     "SimulatedCluster",
     "FaultKind",

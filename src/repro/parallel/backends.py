@@ -18,6 +18,20 @@ pooled resources (including after a worker crash — the process pool is
 terminated rather than joined if its last ``map`` raised), and mapping on
 a closed backend raises :class:`~repro.errors.BackendError`.
 
+Throughput controls (added for the serving layer, used by every caller
+that maps many small tasks):
+
+* ``map(..., chunksize=)`` groups consecutive tasks into one dispatch
+  each — ``"auto"`` applies :func:`suggest_chunksize`, and
+  :class:`ChunkAutotuner` refines the choice from observed per-task
+  latency. Chunking changes only the transport: results are identical
+  for every chunk size (asserted bitwise in the backend tests). With a
+  tracer attached, one ``task`` span then covers one chunk.
+* ``ProcessBackend(shm_min_bytes=...)`` moves large contiguous ndarrays
+  in task payloads through ``multiprocessing.shared_memory`` segments
+  instead of the pool's pickle pipe; segments are always unlinked before
+  ``map`` returns (see :mod:`repro.parallel.shm`).
+
 Observability: pass ``tracer=`` (a :class:`~repro.obs.Tracer`, wall-clock
 based) and/or ``metrics=`` (a :class:`~repro.obs.MetricsRegistry`) and
 every ``map`` records one ``<name>.map`` span plus a per-task ``task``
@@ -36,6 +50,7 @@ real backends show flat speedup, which is itself a documented result
 from __future__ import annotations
 
 import abc
+import math
 import os
 import threading
 import time
@@ -43,10 +58,103 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Sequence
 
 from repro.errors import BackendError, ValidationError
-from repro.utils.validation import check_positive_int
+from repro.utils.validation import check_positive, check_positive_int
 
 __all__ = ["ExecutionBackend", "SerialBackend", "ThreadBackend",
-           "ProcessBackend", "make_backend"]
+           "ProcessBackend", "make_backend", "suggest_chunksize",
+           "ChunkAutotuner"]
+
+
+def suggest_chunksize(n_tasks: int, workers: int, *,
+                      oversubscribe: int = 4) -> int:
+    """Static chunk-size heuristic: ``ceil(n / (workers * oversubscribe))``.
+
+    The same shape as :mod:`multiprocessing.Pool`'s internal default —
+    ``oversubscribe`` chunks per worker keeps the pool load-balanced while
+    cutting the number of IPC round-trips from ``n`` to roughly
+    ``workers * oversubscribe``.
+    """
+    check_positive_int("workers", workers)
+    check_positive_int("oversubscribe", oversubscribe)
+    if n_tasks <= 0:
+        return 1
+    return max(1, math.ceil(n_tasks / (workers * oversubscribe)))
+
+
+class ChunkAutotuner:
+    """Picks chunk sizes that amortize per-task dispatch (IPC) overhead.
+
+    Before any observation it falls back to :func:`suggest_chunksize`.
+    After :meth:`observe` has seen at least one map it knows the mean
+    per-task seconds and chooses the smallest chunk for which the modeled
+    per-chunk dispatch cost (``ipc_cost_s``) stays below
+    ``target_overhead`` of the chunk's compute time — capped at
+    ``ceil(n / workers)`` so every worker still receives work.
+
+    Deliberately deterministic given its observation history: the same
+    sequence of (n_tasks, wall) observations always yields the same chunk
+    sizes.
+    """
+
+    def __init__(self, workers: int, *, ipc_cost_s: float = 2e-4,
+                 target_overhead: float = 0.05, oversubscribe: int = 4,
+                 smoothing: float = 0.5):
+        self.workers = check_positive_int("workers", workers)
+        self.ipc_cost_s = check_positive("ipc_cost_s", ipc_cost_s)
+        self.target_overhead = check_positive("target_overhead", target_overhead)
+        self.oversubscribe = check_positive_int("oversubscribe", oversubscribe)
+        if not 0.0 < smoothing <= 1.0:
+            raise ValidationError(f"smoothing must lie in (0, 1], got {smoothing}")
+        self.smoothing = float(smoothing)
+        self._per_task_s: float | None = None
+
+    @property
+    def per_task_seconds(self) -> float | None:
+        """Current per-task cost estimate (None until first observation)."""
+        return self._per_task_s
+
+    def chunksize(self, n_tasks: int) -> int:
+        """Chunk size for a map over ``n_tasks`` tasks."""
+        if n_tasks <= 1:
+            return 1
+        base = suggest_chunksize(n_tasks, self.workers,
+                                 oversubscribe=self.oversubscribe)
+        if not self._per_task_s or self._per_task_s <= 0.0:
+            return base
+        # Smallest chunk whose dispatch cost is < target_overhead of its
+        # compute: ipc <= overhead * chunk * per_task.
+        amortized = math.ceil(
+            self.ipc_cost_s / (self._per_task_s * self.target_overhead)
+        )
+        balance_cap = max(1, math.ceil(n_tasks / self.workers))
+        return int(min(max(base, amortized), balance_cap))
+
+    def observe(self, n_tasks: int, wall_seconds: float) -> None:
+        """Feed back one completed map's size and wall-clock seconds."""
+        if n_tasks <= 0 or wall_seconds <= 0.0:
+            return
+        sample = wall_seconds / n_tasks
+        if self._per_task_s is None:
+            self._per_task_s = sample
+        else:
+            s = self.smoothing
+            self._per_task_s = (1.0 - s) * self._per_task_s + s * sample
+
+
+class _ChunkCall:
+    """Picklable wrapper running a worker over one chunk of tasks.
+
+    One pickle/IPC round-trip then moves ``len(chunk)`` tasks instead of
+    one — the transport saving behind ``map(..., chunksize=)``.
+    """
+
+    __slots__ = ("worker",)
+
+    def __init__(self, worker: Callable):
+        self.worker = worker
+
+    def __call__(self, chunk):
+        return [self.worker(task) for task in chunk]
 
 
 class _TimedCall:
@@ -92,9 +200,35 @@ class ExecutionBackend(abc.ABC):
     def _run_map(self, worker: Callable, tasks: Sequence) -> list:
         """Run ``worker(task)`` for every task; results in input order."""
 
-    def map(self, worker: Callable, tasks: Sequence) -> list:
-        """Run ``worker(task)`` for every task; results in input order."""
+    def map(self, worker: Callable, tasks: Sequence, *,
+            chunksize: int | str | None = None) -> list:
+        """Run ``worker(task)`` for every task; results in input order.
+
+        ``chunksize`` batches consecutive tasks into one IPC round-trip
+        each: ``None``/``1`` preserves the historical one-task-per-message
+        behaviour, an integer fixes the chunk length, and ``"auto"`` uses
+        :func:`suggest_chunksize` for this backend's worker count. Results
+        are identical (same values, same order) for every chunk size —
+        chunking only changes the transport, never the arithmetic.
+        """
         self._check_open()
+        tasks = list(tasks)
+        cs = self._resolve_chunksize(chunksize, len(tasks))
+        if cs > 1:
+            chunks = [tasks[i:i + cs] for i in range(0, len(tasks), cs)]
+            nested = self._dispatch_map(_ChunkCall(worker), chunks)
+            return [result for chunk in nested for result in chunk]
+        return self._dispatch_map(worker, tasks)
+
+    def _resolve_chunksize(self, chunksize, n_tasks: int) -> int:
+        if chunksize is None:
+            return 1
+        if chunksize == "auto":
+            return suggest_chunksize(n_tasks, getattr(self, "max_workers", 1))
+        cs = check_positive_int("chunksize", chunksize)
+        return min(cs, max(1, n_tasks))
+
+    def _dispatch_map(self, worker: Callable, tasks: Sequence) -> list:
         if not (self.tracer or self.metrics is not None):
             return self._run_map(worker, tasks)
         return self._instrumented_map(worker, tasks)
@@ -195,13 +329,49 @@ class ProcessBackend(ExecutionBackend):
     name = "process"
 
     def __init__(self, max_workers: int | None = None, *, tracer=None,
-                 metrics=None):
+                 metrics=None, shm_min_bytes: int | None = None):
         workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
         self.max_workers = check_positive_int("max_workers", workers)
         self.tracer = tracer
         self.metrics = metrics
+        #: When set, any contiguous ndarray of at least this many bytes in
+        #: a task payload rides to the workers through a POSIX shared-memory
+        #: segment (one memcpy) instead of the pool's pickle pipe (serialize
+        #: + chunked pipe writes + deserialize). Segments are unlinked
+        #: before :meth:`map` returns — nothing survives in /dev/shm.
+        self.shm_min_bytes = (None if shm_min_bytes is None
+                              else check_positive_int("shm_min_bytes",
+                                                      shm_min_bytes))
+        #: Names of the segments created by the most recent shm-packed map
+        #: (all unlinked by then) — observability for tests and metrics.
+        self.last_shm_segments: tuple[str, ...] = ()
         self._pool = None
         self._broken = False
+
+    def map(self, worker: Callable, tasks: Sequence, *,
+            chunksize: int | str | None = None) -> list:
+        if self.shm_min_bytes is None:
+            return super().map(worker, tasks, chunksize=chunksize)
+        self._check_open()
+        from repro.parallel.shm import ShmSession, ShmWorker
+
+        session = ShmSession(min_bytes=self.shm_min_bytes)
+        try:
+            packed = [session.pack(task) for task in tasks]
+            self.last_shm_segments = session.segment_names
+            if not session.segment_names:  # nothing big enough: plain path
+                return super().map(worker, tasks, chunksize=chunksize)
+            if self.metrics is not None:
+                self.metrics.counter("shm_segments", backend=self.name).inc(
+                    len(session.segment_names))
+                self.metrics.counter("shm_bytes", backend=self.name).inc(
+                    session.total_bytes)
+            return super().map(ShmWorker(worker), packed, chunksize=chunksize)
+        finally:
+            # pool.map is synchronous: the workers are done with the
+            # segments by the time we get here, so close + unlink cannot
+            # race a reader.
+            session.close()
 
     def _ensure_pool(self):
         if self._pool is None:
@@ -241,12 +411,17 @@ class ProcessBackend(ExecutionBackend):
 
 
 def make_backend(name: str, max_workers: int | None = None, *, tracer=None,
-                 metrics=None) -> ExecutionBackend:
-    """Factory: ``"serial"`` | ``"thread"`` | ``"process"``."""
+                 metrics=None, shm_min_bytes: int | None = None) -> ExecutionBackend:
+    """Factory: ``"serial"`` | ``"thread"`` | ``"process"``.
+
+    ``shm_min_bytes`` is honoured by the process backend only (the in-
+    process backends never pickle, so there is nothing to shortcut).
+    """
     if name == "serial":
         return SerialBackend(tracer=tracer, metrics=metrics)
     if name == "thread":
         return ThreadBackend(max_workers, tracer=tracer, metrics=metrics)
     if name == "process":
-        return ProcessBackend(max_workers, tracer=tracer, metrics=metrics)
+        return ProcessBackend(max_workers, tracer=tracer, metrics=metrics,
+                              shm_min_bytes=shm_min_bytes)
     raise ValidationError(f"unknown backend {name!r}")

@@ -406,7 +406,8 @@ def _guarded_call(args):
 
 
 def resilient_map(backend, worker, tasks, *, plan: FaultPlan | None = None,
-                  policy: FaultPolicy | str | None = None, tracer=None):
+                  policy: FaultPolicy | str | None = None, tracer=None,
+                  chunksize: int | str | None = None):
     """Map ``worker`` over ``tasks`` with fault injection and recovery.
 
     Returns ``(results, report)`` where ``results[r]`` is rank r's value
@@ -419,6 +420,11 @@ def resilient_map(backend, worker, tasks, *, plan: FaultPlan | None = None,
     wall-clock instant event per detected fault, retry and degraded rank,
     on the failing rank's track — so a real-backend trace shows *when*
     recovery machinery fired next to the worker task spans.
+
+    ``chunksize`` is forwarded to every underlying ``backend.map`` —
+    transport only: injection, retries and results are per-rank whatever
+    the chunking, so a chunked recovered run still equals the fault-free
+    run bitwise.
 
     Raises :class:`FaultError` under ``fail_fast`` on the first fault,
     under ``retry`` on exhaustion, and under ``degrade`` when no rank
@@ -442,7 +448,7 @@ def resilient_map(backend, worker, tasks, *, plan: FaultPlan | None = None,
             inject = fault.kind.value if fault is not None else None
             sleep_s = policy.straggler_sleep * max(plan.slowdown(r) - 1.0, 0.0)
             batch.append((worker, copy.deepcopy(tasks[r]), inject, sleep_s))
-        outcomes = backend.map(_guarded_call, batch)
+        outcomes = backend.map(_guarded_call, batch, chunksize=chunksize)
 
         retry_ranks = []
         for r, out in zip(pending, outcomes):

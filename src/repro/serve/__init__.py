@@ -1,0 +1,40 @@
+"""Throughput layer: batched pricing service, contract-hash cache, and the
+shared-memory/chunked transport knobs that make streams of heterogeneous
+pricing requests cheap to execute.
+
+Three pieces, composed by :class:`~repro.serve.service.PricingService`:
+
+* :mod:`repro.serve.batching` — :class:`PricingRequest` (one contract +
+  engine settings) and the size/deadline-bounded :class:`Batcher`;
+* :mod:`repro.serve.cache` — :class:`PriceCache`, an LRU keyed by the
+  same canonical SHA-256 contract hashes the verification corpus uses;
+  hits are bitwise identical to recomputed misses;
+* :mod:`repro.serve.service` — batch execution through any
+  :class:`~repro.parallel.backends.ExecutionBackend` via the chunked map,
+  with metrics export and the scenario-revaluation (shared-memory) path.
+
+The layer is price-neutral by construction: batching, caching, chunking
+and backend choice can never change a quote (enforced by the
+``serve-batching`` determinism check in :mod:`repro.verify.determinism`).
+"""
+
+from repro.serve.batching import (SERVE_ENGINES, Batch, Batcher,
+                                  PricingRequest, request_key)
+from repro.serve.cache import CacheEntry, PriceCache, stable_key
+from repro.serve.service import (PriceQuote, PricingService, price_request,
+                                 revalue_scenarios)
+
+__all__ = [
+    "SERVE_ENGINES",
+    "Batch",
+    "Batcher",
+    "PricingRequest",
+    "request_key",
+    "CacheEntry",
+    "PriceCache",
+    "stable_key",
+    "PriceQuote",
+    "PricingService",
+    "price_request",
+    "revalue_scenarios",
+]

@@ -1,0 +1,187 @@
+"""Requests and batches: the unit of work the pricing service executes.
+
+A :class:`PricingRequest` names one contract (a
+:class:`~repro.workloads.generators.Workload`) plus the engine family and
+settings to price it with — the request analogue of the verification
+corpus's :class:`~repro.verify.contracts.VerifyCase`. Requests are frozen,
+picklable (they cross the process-pool boundary) and deterministic: two
+requests with equal configs price to bitwise-equal quotes, which is what
+makes them cacheable.
+
+The :class:`Batcher` groups a request stream into **size/deadline-bounded**
+batches: a batch is cut as soon as ``max_batch`` requests are pending
+(amortizing per-batch dispatch over many contracts) or as soon as the
+*oldest* pending request has waited ``max_wait_s`` (bounding the latency a
+lone request can be held hostage by batching). The clock is injectable so
+the deadline path is unit-testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ValidationError
+from repro.serve.cache import stable_key
+from repro.utils.validation import check_non_negative, check_positive_int
+from repro.verify.contracts import describe_workload
+from repro.workloads.generators import Workload
+
+__all__ = ["SERVE_ENGINES", "PricingRequest", "request_key", "Batch",
+           "Batcher"]
+
+#: Engine families the serving layer can route a request to — the four
+#: parallel pricers from :mod:`repro.core`.
+SERVE_ENGINES = ("mc", "lattice", "pde", "lsm")
+
+
+@dataclass(frozen=True)
+class PricingRequest:
+    """One priceable unit of the request stream.
+
+    Attributes
+    ----------
+    workload : the contract (market model, payoff, expiry).
+    engine : which parallel pricer family executes it (see
+        :data:`SERVE_ENGINES`).
+    n_paths : MC/LSM path budget (ignored by lattice/PDE).
+    steps : monitoring / exercise / time steps; required for the lattice
+        and LSM engines.
+    seed : master RNG seed (MC/LSM; the lattice and PDE engines are
+        seedless).
+    p : simulated rank count handed to the parallel pricer.
+    grid : PDE spatial resolution per axis (PDE only).
+    name : display label; **never** part of the cache key.
+    """
+
+    workload: Workload
+    engine: str = "mc"
+    n_paths: int = 20_000
+    steps: int | None = None
+    seed: int = 0
+    p: int = 1
+    grid: int = 64
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.engine not in SERVE_ENGINES:
+            raise ValidationError(
+                f"engine must be one of {SERVE_ENGINES}, got {self.engine!r}"
+            )
+        check_positive_int("n_paths", self.n_paths)
+        check_positive_int("p", self.p)
+        check_positive_int("grid", self.grid)
+        if self.steps is not None:
+            check_positive_int("steps", self.steps)
+        if self.engine in ("lattice", "lsm") and self.steps is None:
+            raise ValidationError(
+                f"the {self.engine} engine needs steps=<backward steps>"
+            )
+
+    def settings(self) -> dict:
+        """The engine-relevant settings — the cache key's second half.
+
+        Only fields the engine actually reads are included, so changing
+        e.g. the seed of a (seedless) lattice request cannot split the
+        cache entry.
+        """
+        if self.engine == "mc":
+            return {"n_paths": self.n_paths, "steps": self.steps,
+                    "seed": self.seed, "p": self.p}
+        if self.engine == "lattice":
+            return {"steps": self.steps, "p": self.p}
+        if self.engine == "pde":
+            return {"grid": self.grid, "steps": self.steps, "p": self.p}
+        return {"n_paths": self.n_paths, "steps": self.steps,
+                "seed": self.seed, "p": self.p}
+
+    @property
+    def label(self) -> str:
+        return self.name or self.workload.name
+
+
+def request_key(request: PricingRequest) -> str:
+    """Canonical SHA-256 cache key of one request.
+
+    Covers exactly what determines the price — contract description,
+    engine family, engine settings — and nothing presentational, so
+    equivalent requests collide (by design) and any numerical change
+    splits the key.
+    """
+    return stable_key({
+        "contract": describe_workload(request.workload),
+        "engine": request.engine,
+        "settings": request.settings(),
+    })
+
+
+@dataclass(frozen=True)
+class Batch:
+    """An ordered group of requests cut from the stream."""
+
+    index: int
+    requests: tuple[PricingRequest, ...]
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+
+class Batcher:
+    """Size/deadline-bounded batch cutter over a request stream.
+
+    ``submit`` returns the cut :class:`Batch` when the pending set just
+    reached ``max_batch``, else ``None``; ``poll`` cuts when the oldest
+    pending request's deadline has passed; ``flush`` cuts whatever is
+    pending (end of stream). ``max_wait_s=None`` disables the deadline —
+    batches then cut on size and explicit flushes only.
+    """
+
+    def __init__(self, *, max_batch: int = 32,
+                 max_wait_s: float | None = None,
+                 clock: Callable[[], float] | None = None):
+        self.max_batch = check_positive_int("max_batch", max_batch)
+        self.max_wait_s = (None if max_wait_s is None
+                           else check_non_negative("max_wait_s", max_wait_s))
+        self._clock = clock if clock is not None else time.monotonic
+        self._pending: list[PricingRequest] = []
+        self._oldest: float | None = None
+        self._cut_count = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def batches_cut(self) -> int:
+        return self._cut_count
+
+    def submit(self, request: PricingRequest) -> Batch | None:
+        """Queue one request; returns a batch iff this submit filled one."""
+        if not isinstance(request, PricingRequest):
+            raise ValidationError(
+                f"expected a PricingRequest, got {type(request).__name__}"
+            )
+        if self._oldest is None:
+            self._oldest = self._clock()
+        self._pending.append(request)
+        if len(self._pending) >= self.max_batch:
+            return self._cut()
+        return None
+
+    def poll(self) -> Batch | None:
+        """Cut the pending batch iff its deadline has expired."""
+        if (self._pending and self.max_wait_s is not None
+                and self._clock() - self._oldest >= self.max_wait_s):
+            return self._cut()
+        return None
+
+    def flush(self) -> Batch | None:
+        """Cut whatever is pending (None when the stream is empty)."""
+        return self._cut() if self._pending else None
+
+    def _cut(self) -> Batch:
+        batch = Batch(self._cut_count, tuple(self._pending))
+        self._pending = []
+        self._oldest = None
+        self._cut_count += 1
+        return batch

@@ -1,0 +1,274 @@
+"""The batch pricing service: cache → batch → chunked map → quotes.
+
+This is the throughput layer the ROADMAP's "heavy traffic" north star
+asks for. A :class:`PricingService` accepts a stream of
+:class:`~repro.serve.batching.PricingRequest`\\ s, groups them into
+size/deadline-bounded batches, and executes each batch in one chunked
+``backend.map`` over the module-level :func:`price_request` worker —
+fronted by a :class:`~repro.serve.cache.PriceCache` so repeated contracts
+are answered from memory.
+
+The layer adds *no* numerics of its own, which is what makes it safe:
+
+* every request prices through the existing parallel pricers with its own
+  seed/settings, so a quote is a pure function of the request config —
+  **independent of batch composition, chunk size, backend and cache
+  state** (enforced by the ``serve-batching`` determinism check);
+* duplicate requests inside one batch are priced once and fanned out;
+* a batch with zero misses performs **zero** backend map calls — a 100 %
+  cache-hit replay never touches the execution layer.
+
+Throughput accounting goes through :class:`~repro.obs.MetricsRegistry`
+(``serve.requests``, ``serve.batches``, ``serve.map_calls``,
+``serve.cache_hits`` / ``serve.cache_misses`` counters and the
+``serve.batch_size`` / ``serve.batch_latency_s`` histograms) so the
+``repro serve`` CLI and benchmark F15 read the same numbers.
+
+:func:`revalue_scenarios` is the second batch shape: many payoffs revalued
+against **one** precomputed scenario matrix (the Premia-style risk job).
+The matrix is the natural shared-memory payload — with
+``ProcessBackend(shm_min_bytes=...)`` it crosses to the pool once as a
+segment instead of being pickled per task.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.parallel.backends import ChunkAutotuner, ExecutionBackend, SerialBackend
+from repro.serve.batching import Batch, Batcher, PricingRequest, request_key
+from repro.serve.cache import PriceCache
+
+__all__ = ["PriceQuote", "PricingService", "price_request",
+           "revalue_scenarios"]
+
+
+@dataclass(frozen=True)
+class PriceQuote:
+    """A served price: what the cache stores and the service returns.
+
+    Deliberately carries no request label — two equivalent requests share
+    one quote — and only plain floats, so bitwise identity between a hit
+    and a recomputed miss is meaningful and picklable.
+    """
+
+    engine: str
+    price: float
+    stderr: float
+    sim_time: float
+
+
+def price_request(request: PricingRequest) -> PriceQuote:
+    """Module-level batch worker: price one request with its engine family.
+
+    Picklable (the process backend ships it through the pool), and imports
+    the pricers lazily so the serve package never creates an import cycle
+    with :mod:`repro.core`.
+    """
+    w = request.workload
+    if request.engine == "mc":
+        from repro.core.mc_parallel import ParallelMCPricer
+
+        res = ParallelMCPricer(request.n_paths, seed=request.seed,
+                               steps=request.steps).price(
+            w.model, w.payoff, w.expiry, request.p)
+    elif request.engine == "lattice":
+        from repro.core.lattice_parallel import ParallelLatticePricer
+
+        res = ParallelLatticePricer(request.steps).price(
+            w.model, w.payoff, w.expiry, request.p)
+    elif request.engine == "pde":
+        from repro.core.pde_parallel import ParallelPDEPricer
+
+        n_time = max((request.steps or request.grid // 2), 4)
+        res = ParallelPDEPricer(n_space=request.grid, n_time=n_time).price(
+            w.model, w.payoff, w.expiry, request.p)
+    else:  # lsm — validated by PricingRequest
+        from repro.core.lsm_parallel import ParallelLSMPricer
+
+        res = ParallelLSMPricer(request.n_paths, request.steps,
+                                seed=request.seed).price(
+            w.model, w.payoff, w.expiry, request.p)
+    return PriceQuote(engine=request.engine, price=res.price,
+                      stderr=res.stderr, sim_time=res.sim_time)
+
+
+class PricingService:
+    """Streams of pricing requests in, quotes out — batched and cached.
+
+    Parameters
+    ----------
+    backend : an :class:`~repro.parallel.backends.ExecutionBackend`
+        (default: a private :class:`SerialBackend`). The caller owns the
+        backend's lifecycle unless the service created it.
+    cache : a :class:`PriceCache`, or ``None`` to disable caching.
+    max_batch : cut a batch as soon as this many requests are pending.
+    max_wait_s : cut a batch once its oldest request has waited this long
+        (checked on :meth:`submit` and :meth:`poll`); ``None`` disables
+        the deadline.
+    chunksize : per-map chunking — ``"auto"`` (default) lets a
+        :class:`ChunkAutotuner` pick from observed per-task latency, an
+        int fixes it, ``None`` maps one task per dispatch.
+    metrics : optional :class:`~repro.obs.MetricsRegistry`.
+    clock : injectable monotonic clock for deadline tests.
+    """
+
+    def __init__(self, backend: ExecutionBackend | None = None, *,
+                 cache: PriceCache | None = None, max_batch: int = 32,
+                 max_wait_s: float | None = None,
+                 chunksize: int | str | None = "auto",
+                 metrics=None, clock: Callable[[], float] | None = None):
+        self._owns_backend = backend is None
+        self.backend = backend if backend is not None else SerialBackend()
+        self.cache = cache
+        self.metrics = metrics
+        self.chunksize = chunksize
+        if cache is not None and metrics is not None and cache.metrics is None:
+            cache.metrics = metrics
+        workers = getattr(self.backend, "max_workers", 1)
+        self._autotuner = (ChunkAutotuner(workers)
+                           if chunksize == "auto" else None)
+        self._batcher = Batcher(max_batch=max_batch, max_wait_s=max_wait_s,
+                                clock=clock)
+        self._completed: list[tuple[PricingRequest, PriceQuote]] = []
+        #: Number of backend.map calls issued — zero for full-hit replays.
+        self.map_calls = 0
+
+    # -- streaming interface -------------------------------------------
+
+    def submit(self, request: PricingRequest) -> None:
+        """Queue one request; executes a batch when size/deadline trips."""
+        batch = self._batcher.poll()
+        if batch is not None:
+            self._completed.extend(self._execute(batch))
+        batch = self._batcher.submit(request)
+        if batch is not None:
+            self._completed.extend(self._execute(batch))
+
+    def poll(self) -> None:
+        """Deadline check — call between submits on a sparse stream."""
+        batch = self._batcher.poll()
+        if batch is not None:
+            self._completed.extend(self._execute(batch))
+
+    def flush(self) -> list[tuple[PricingRequest, PriceQuote]]:
+        """Execute any pending partial batch and drain all results."""
+        batch = self._batcher.flush()
+        if batch is not None:
+            self._completed.extend(self._execute(batch))
+        return self.drain()
+
+    def drain(self) -> list[tuple[PricingRequest, PriceQuote]]:
+        """Completed (request, quote) pairs in submission order."""
+        out = self._completed
+        self._completed = []
+        return out
+
+    def price_many(self, requests: Iterable[PricingRequest]) -> list[PriceQuote]:
+        """Convenience: run a whole request list; quotes in input order."""
+        for request in requests:
+            self.submit(request)
+        return [quote for _, quote in self.flush()]
+
+    # -- batch execution -----------------------------------------------
+
+    def _execute(self, batch: Batch) -> list[tuple[PricingRequest, PriceQuote]]:
+        t0 = time.perf_counter()
+        n = len(batch)
+        keys = [request_key(r) for r in batch.requests]
+        quotes: list[PriceQuote | None] = [None] * n
+
+        # Cache front: hits are answered immediately; misses are deduped
+        # by key so one computation fans out to every equivalent request.
+        miss_indices: dict[str, list[int]] = {}
+        for i, key in enumerate(keys):
+            hit = self.cache.get(key) if self.cache is not None else None
+            if hit is not None:
+                quotes[i] = hit
+            else:
+                miss_indices.setdefault(key, []).append(i)
+
+        tasks = [batch.requests[idx[0]] for idx in miss_indices.values()]
+        if tasks:
+            cs = (self._autotuner.chunksize(len(tasks))
+                  if self._autotuner is not None else self.chunksize)
+            results = self.backend.map(price_request, tasks, chunksize=cs)
+            self.map_calls += 1
+            for (key, indices), quote in zip(miss_indices.items(), results):
+                for i in indices:
+                    quotes[i] = quote
+                if self.cache is not None:
+                    self.cache.put(key, quote)
+
+        wall = time.perf_counter() - t0
+        if tasks and self._autotuner is not None:
+            self._autotuner.observe(len(tasks), wall)
+        if self.metrics is not None:
+            self.metrics.counter("serve.requests").inc(n)
+            self.metrics.counter("serve.batches").inc()
+            if tasks:
+                self.metrics.counter("serve.map_calls").inc()
+            self.metrics.counter("serve.deduped").inc(
+                sum(len(v) - 1 for v in miss_indices.values()))
+            self.metrics.histogram("serve.batch_size").observe(n)
+            self.metrics.histogram("serve.batch_latency_s").observe(wall)
+        return list(zip(batch.requests, quotes))
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush pending work and release an internally created backend."""
+        self.flush()
+        if self._owns_backend:
+            self.backend.close()
+
+    def __enter__(self) -> "PricingService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Scenario revaluation: the shared-memory batch shape.
+# ---------------------------------------------------------------------------
+
+
+def _revalue_task(task) -> float:
+    """Discounted mean payoff of one contract over a scenario matrix."""
+    payoff, scenarios, discount = task
+    return float(discount) * float(np.mean(payoff.terminal(scenarios)))
+
+
+def revalue_scenarios(payoffs: Sequence, scenarios: np.ndarray, *,
+                      backend: ExecutionBackend | None = None,
+                      chunksize: int | str | None = "auto",
+                      discount: float = 1.0) -> list[float]:
+    """Value many payoffs against one precomputed terminal-scenario matrix.
+
+    The classic risk-management batch: simulate the market once (rows of
+    ``scenarios``: one terminal price vector per scenario), then revalue
+    the whole book against it. Every task carries the same matrix object,
+    so a :class:`~repro.parallel.backends.ProcessBackend` with
+    ``shm_min_bytes`` set ships it across the pool **once** through a
+    shared-memory segment — benchmark F15 measures that against the
+    per-task-pickle baseline.
+    """
+    if scenarios.ndim != 2:
+        raise ValidationError(
+            f"scenarios must be (n_scenarios, dim), got shape {scenarios.shape}"
+        )
+    own = backend is None
+    backend = backend if backend is not None else SerialBackend()
+    try:
+        tasks = [(p, scenarios, discount) for p in payoffs]
+        return backend.map(_revalue_task, tasks, chunksize=chunksize)
+    finally:
+        if own:
+            backend.close()

@@ -35,6 +35,7 @@ __all__ = [
     "VerifyCase",
     "default_corpus",
     "describe_case",
+    "describe_workload",
     "canonical_json",
     "config_hash",
 ]
@@ -101,11 +102,17 @@ def _describe_payoff(payoff) -> dict:
     return desc
 
 
-def describe_case(case: VerifyCase) -> dict:
-    """Full JSON-serializable description of a case (hash input)."""
-    model = case.workload.model
+def describe_workload(workload: Workload) -> dict:
+    """JSON-serializable description of what a workload prices.
+
+    Deliberately excludes the workload's display ``name``: two workloads
+    with the same market, payoff and expiry describe the same contract
+    however they are labeled. This is the identity the serving layer's
+    price cache keys on (:mod:`repro.serve.cache`), so equivalent configs
+    — permuted dicts, list-vs-array parameters — hash identically.
+    """
+    model = workload.model
     return {
-        "name": case.name,
         "model": {
             "spots": _jsonable(model.spots),
             "vols": _jsonable(model.vols),
@@ -113,8 +120,16 @@ def describe_case(case: VerifyCase) -> dict:
             "dividends": _jsonable(getattr(model, "dividends", None)),
             "correlation": _jsonable(model.correlation),
         },
-        "payoff": _describe_payoff(case.workload.payoff),
-        "expiry": case.workload.expiry,
+        "payoff": _describe_payoff(workload.payoff),
+        "expiry": workload.expiry,
+    }
+
+
+def describe_case(case: VerifyCase) -> dict:
+    """Full JSON-serializable description of a case (hash input)."""
+    return {
+        "name": case.name,
+        **describe_workload(case.workload),
         "american": case.american,
         "engines": _jsonable({k: dict(v) for k, v in case.engines.items()}),
     }

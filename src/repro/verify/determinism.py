@@ -11,7 +11,9 @@ by a single bit when the *execution* changes:
 * degrade-mode replays (a degraded run is deterministic in its plan);
 * repeated replays of every seeded engine (MC, QMC, MLMC, LSM, lattice,
   PDE) — including MLMC and LSM executed *inside* backend workers, which
-  is how a real scaling run would ship them to a process pool.
+  is how a real scaling run would ship them to a process pool;
+* the serve layer: one batch vs many, serial vs chunked process maps, and
+  a 100 % cache-hit replay must all produce the same quote bits.
 
 A violation means a nondeterministic reduction (unordered sum, shared RNG
 state, thread-dependent accumulation) crept in; the checker reports the
@@ -200,12 +202,57 @@ def check_worker_invariance(n_paths: int, seed: int) -> list[DeterminismResult]:
     return out
 
 
+def check_serve_batching(n_paths: int, seed: int) -> list[DeterminismResult]:
+    """The serve layer must never move a price: a quote is a pure function
+    of its request config, bitwise independent of batch boundaries, chunk
+    size, backend, and cache state (including a 100 % cache-hit replay).
+    """
+    import hashlib
+
+    from repro.parallel.backends import make_backend
+    from repro.serve import PriceCache, PricingRequest, PricingService
+    from repro.workloads.generators import random_portfolio
+
+    book = random_portfolio(8, seed=seed)
+    requests = [PricingRequest(w, engine="mc", n_paths=max(n_paths // 8, 256),
+                               seed=seed + i, p=2, name=w.name)
+                for i, w in enumerate(book)]
+
+    def digest(quotes):
+        joined = "|".join(float_bits(q.price) for q in quotes)
+        return hashlib.sha256(joined.encode()).hexdigest()[:16]
+
+    bits = {}
+    with PricingService(max_batch=len(requests), cache=None) as svc:
+        bits["one-batch-serial"] = digest(svc.price_many(requests))
+    with PricingService(max_batch=3, cache=None) as svc:
+        bits["small-batches"] = digest(svc.price_many(requests))
+    with make_backend("process", 2) as backend:
+        with PricingService(backend, max_batch=len(requests),
+                            chunksize=2, cache=None) as svc:
+            bits["process-chunked"] = digest(svc.price_many(requests))
+    cache = PriceCache(64)
+    with PricingService(max_batch=len(requests), cache=cache) as svc:
+        bits["cache-cold"] = digest(svc.price_many(requests))
+        bits["cache-replay"] = digest(svc.price_many(requests))
+        replay_maps = svc.map_calls
+    detail = "" if replay_maps == 1 else (
+        f"cache-hit replay issued {replay_maps - 1} extra map call(s)")
+    out = [_verdict("serve-batching", "mc book of 8, digest of price bits",
+                    bits, detail)]
+    if detail:
+        out[0] = DeterminismResult(out[0].check, out[0].subject, False,
+                                   out[0].bits, detail)
+    return out
+
+
 #: Name → check callable; each takes ``(n_paths, seed)``.
 DETERMINISM_CHECKS = {
     "backend-invariance": check_backend_invariance,
     "fault-invariance": check_fault_invariance,
     "engine-replay": check_engine_replay,
     "worker-invariance": check_worker_invariance,
+    "serve-batching": check_serve_batching,
 }
 
 

@@ -129,6 +129,40 @@ class TestPortfolio:
             assert sched in out
 
 
+class TestPortfolioCache:
+    def test_shared_cache_replays_three_of_four_schedules(self, capsys):
+        code = main(["portfolio", "--contracts", "4", "--paths", "3000",
+                     "--ranks", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        # 4 contracts valued once, then replayed by the other 3 schedules.
+        assert "4 contracts valued, 12 replayed" in out
+        assert "hit rate 75%" in out
+
+
+class TestServe:
+    def test_stream_with_cache_and_replay(self, capsys):
+        code = main(["serve", "--requests", "12", "--contracts", "4",
+                     "--paths", "1500", "--batch", "4", "--repeat", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "req/s" in out and "hit rate" in out
+        # Pass 2 is a pure replay: zero backend map calls, 100 % hit rate.
+        rows = [ln.split("|") for ln in out.splitlines() if "|" in ln]
+        pass2 = next(r for r in rows if r[0].strip() == "2")
+        assert int(pass2[3]) == 0
+        assert float(pass2[4]) == 1.0
+
+    def test_cache_disabled(self, capsys):
+        code = main(["serve", "--requests", "4", "--contracts", "4",
+                     "--paths", "1000", "--batch", "2", "--cache", "0",
+                     "--repeat", "1", "--chunksize", "none"])
+        assert code == 0
+
+    def test_bad_chunksize_is_exit_code_2(self, capsys):
+        assert main(["serve", "--requests", "2", "--chunksize", "bogus"]) == 2
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

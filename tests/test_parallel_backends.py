@@ -165,6 +165,118 @@ class TestLifecycle:
         assert leaked == []
 
 
+class TestChunkedMap:
+    """chunksize is a transport knob: results must be bitwise identical for
+    every chunking on every backend — including under fault injection."""
+
+    TASKS = list(range(23))
+
+    @pytest.mark.parametrize("factory", [
+        SerialBackend,
+        lambda: ThreadBackend(3),
+        lambda: ProcessBackend(2),
+    ], ids=["serial", "thread", "process"])
+    @pytest.mark.parametrize("chunksize", [None, 1, 7, "auto", 23, 100])
+    def test_chunking_invariant_on_every_backend(self, factory, chunksize):
+        with factory() as backend:
+            got = backend.map(_square, self.TASKS, chunksize=chunksize)
+        assert got == [t * t for t in self.TASKS]
+
+    def test_chunked_empty_and_singleton(self):
+        backend = SerialBackend()
+        assert backend.map(_square, [], chunksize=7) == []
+        assert backend.map(_square, [3], chunksize=7) == [9]
+
+    def test_invalid_chunksize_rejected(self):
+        backend = SerialBackend()
+        with pytest.raises(ValidationError):
+            backend.map(_square, [1], chunksize=0)
+        with pytest.raises(ValidationError):
+            backend.map(_square, [1], chunksize="huge")
+
+    def test_mc_price_bitwise_invariant_to_chunksize(self):
+        from repro.core import ParallelMCPricer
+        from repro.workloads import basket_workload
+
+        w = basket_workload(2)
+        bits = set()
+        for chunksize in (None, 1, 2, "auto"):
+            with ThreadBackend(2) as backend:
+                pricer = ParallelMCPricer(4_000, seed=3, backend=backend,
+                                          chunksize=chunksize)
+                res = pricer.price(w.model, w.payoff, w.expiry, 4)
+            bits.add(res.price)
+        assert len(bits) == 1
+
+    def test_faulted_retry_with_chunking_matches_fault_free(self):
+        from repro.core import ParallelMCPricer
+        from repro.parallel import FaultEvent, FaultKind, FaultPlan
+        from repro.workloads import basket_workload
+
+        w = basket_workload(2)
+        with SerialBackend() as backend:
+            ref = ParallelMCPricer(4_000, seed=3, backend=backend).price(
+                w.model, w.payoff, w.expiry, 4)
+        plan = FaultPlan(events=(FaultEvent(1, FaultKind.CRASH),))
+        for chunksize in (1, 2, "auto"):
+            with ThreadBackend(2) as backend:
+                res = ParallelMCPricer(4_000, seed=3, backend=backend,
+                                       faults=plan, policy="retry",
+                                       chunksize=chunksize).price(
+                    w.model, w.payoff, w.expiry, 4)
+            assert res.price == ref.price, chunksize
+
+    def test_instrumented_chunked_map_counts_chunks(self):
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        backend = ThreadBackend(2, metrics=metrics)
+        try:
+            backend.map(_square, list(range(10)), chunksize=5)
+        finally:
+            backend.close()
+        # Two chunks of five → the per-dispatch instrumentation sees two
+        # timed units (a "task" span/latency now covers one chunk).
+        assert metrics.histogram("task_latency", backend="thread").count == 2
+
+
+class TestChunkHeuristics:
+    def test_suggest_chunksize_bounds(self):
+        from repro.parallel import suggest_chunksize
+
+        assert suggest_chunksize(0, 4) == 1
+        assert suggest_chunksize(1, 4) == 1
+        assert suggest_chunksize(64, 4) == 4   # 64 / (4 workers × 4 over)
+        assert suggest_chunksize(1000, 1) == 250
+        with pytest.raises(ValidationError):
+            suggest_chunksize(8, 0)
+
+    def test_autotuner_static_before_observation(self):
+        from repro.parallel import ChunkAutotuner, suggest_chunksize
+
+        tuner = ChunkAutotuner(4)
+        assert tuner.chunksize(64) == suggest_chunksize(64, 4)
+
+    def test_autotuner_grows_chunks_for_cheap_tasks(self):
+        from repro.parallel import ChunkAutotuner
+
+        tuner = ChunkAutotuner(4, ipc_cost_s=1e-3)
+        tuner.observe(100, 0.001)  # 10 µs/task → IPC dominates
+        cheap = tuner.chunksize(100)
+        tuner2 = ChunkAutotuner(4, ipc_cost_s=1e-3)
+        tuner2.observe(100, 10.0)  # 100 ms/task → IPC negligible
+        assert cheap > tuner2.chunksize(100)
+
+    def test_autotuner_never_starves_workers(self):
+        from repro.parallel import ChunkAutotuner
+
+        tuner = ChunkAutotuner(4)
+        tuner.observe(100, 1e-7)  # absurdly cheap → wants huge chunks
+        # Still at most ceil(n/workers): every worker gets work.
+        assert tuner.chunksize(100) <= 25
+        assert tuner.chunksize(3) == 1  # ceil(3/4): every worker busy
+
+
 class TestCrossBackendDeterminism:
     """The paper's speedup claims require every backend to compute the same
     answer: MC prices must be *bitwise* identical across serial, thread and

@@ -37,6 +37,7 @@ from repro.payoffs import (
     PowerCall,
     SpreadCall,
 )
+from repro.parallel.shm import shm_supported
 from repro.rng import HaltonSequence, Lcg64, Philox4x32, SobolSequence, Xoshiro256StarStar
 
 
@@ -130,6 +131,107 @@ class TestTechniques:
         pa = technique.finalize(technique.combine([a]))
         pb = clone.finalize(clone.combine([b]))
         assert pa[0] == pb[0]
+
+
+class TestServeDataclasses:
+    """The serve layer's value objects cross the process boundary too:
+    requests travel inside batch tasks, quotes come back, cache entries
+    may be shipped to warm a remote cache."""
+
+    def _request(self):
+        from repro.serve import PricingRequest
+        from repro.workloads.generators import basket_workload
+
+        return PricingRequest(basket_workload(2), engine="mc",
+                              n_paths=1_000, seed=7, p=2, name="desk")
+
+    def test_pricing_request_roundtrip_preserves_key(self):
+        from repro.serve import request_key
+
+        r = self._request()
+        clone = roundtrip(r)
+        # Model/payoff equality is behavioral in this repo, so compare the
+        # canonical key (covers the full contract description) + settings.
+        assert request_key(clone) == request_key(r)
+        assert clone.settings() == r.settings()
+        assert (clone.engine, clone.name) == (r.engine, r.name)
+
+    def test_batch_roundtrip(self):
+        from repro.serve import Batch, request_key
+
+        batch = Batch(3, (self._request(), self._request()))
+        clone = roundtrip(batch)
+        assert clone.index == 3 and len(clone) == 2
+        assert ([request_key(r) for r in clone.requests]
+                == [request_key(r) for r in batch.requests])
+
+    def test_cache_entry_and_quote_roundtrip(self):
+        from repro.serve import CacheEntry, PriceQuote
+
+        quote = PriceQuote(engine="mc", price=1.5, stderr=0.01, sim_time=0.2)
+        entry = CacheEntry("deadbeef", quote)
+        clone = roundtrip(entry)
+        assert clone == entry
+        assert clone.value == quote
+
+    def test_shared_array_ref_handle_is_small(self):
+        """The whole point of the shm transport: the pickled *handle* stays
+        tiny no matter how large the backing array is."""
+        from repro.parallel import ShmSession
+
+        big = np.zeros((512, 512))  # 2 MiB backing payload
+        with ShmSession(min_bytes=1024) as session:
+            ref = session.share(big)
+            blob = pickle.dumps(ref)
+            assert len(blob) < 512
+            clone = pickle.loads(blob)
+            assert np.array_equal(clone.load(), big)
+
+
+@pytest.mark.skipif(not shm_supported(),
+                    reason="POSIX shared memory unavailable")
+class TestShmLifecycle:
+    """No leaked /dev/shm segments — the transport must clean up even
+    though worker processes attach to the segments by name."""
+
+    @staticmethod
+    def _dev_shm():
+        import os
+
+        return set(os.listdir("/dev/shm")) if os.path.isdir("/dev/shm") else set()
+
+    def test_session_close_unlinks_segments(self):
+        from multiprocessing import shared_memory
+
+        from repro.parallel import ShmSession
+
+        before = self._dev_shm()
+        session = ShmSession(min_bytes=16)
+        session.share(np.arange(100.0))
+        names = session.segment_names
+        assert names
+        session.close()
+        session.close()  # idempotent
+        assert self._dev_shm() <= before
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_process_map_leaves_no_segments(self):
+        from repro.parallel import ProcessBackend
+        from repro.payoffs import BasketCall
+        from repro.serve import revalue_scenarios
+
+        before = self._dev_shm()
+        scen = 80.0 + 40.0 * np.random.default_rng(0).random((2_000, 3))
+        with ProcessBackend(2, shm_min_bytes=1024) as backend:
+            revalue_scenarios([BasketCall([1 / 3] * 3, 100.0)], scen,
+                              backend=backend, chunksize=1)
+            names = backend.last_shm_segments
+            assert names  # the matrix really went through shared memory
+        after = self._dev_shm()
+        assert after <= before
+        assert not any(n.lstrip("/") in after for n in names)
 
 
 class TestEndToEnd:

@@ -1,0 +1,274 @@
+"""The batched pricing service: batching discipline, dedup, cache replay,
+metrics — and the price-neutrality contract (quotes are bitwise invariant
+to batch boundaries, chunk size, backend and cache state)."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.parallel import ProcessBackend, SerialBackend, ThreadBackend
+from repro.payoffs import BasketCall, Call
+from repro.serve import (Batch, Batcher, PriceCache, PricingRequest,
+                         PricingService, revalue_scenarios)
+from repro.verify.determinism import float_bits
+from repro.workloads.generators import basket_workload, random_portfolio
+
+
+def _mc_requests(n, *, paths=1_500, base_seed=0):
+    book = random_portfolio(max(n, 1), seed=4)
+    return [PricingRequest(book[i % len(book)], engine="mc", n_paths=paths,
+                           seed=base_seed + i, p=2) for i in range(n)]
+
+
+class _FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestBatcher:
+    def test_cuts_exactly_at_max_batch(self):
+        b = Batcher(max_batch=3)
+        reqs = _mc_requests(7)
+        cuts = [b.submit(r) for r in reqs]
+        batches = [c for c in cuts if c is not None]
+        assert [len(batch) for batch in batches] == [3, 3]
+        assert len(b) == 1  # one straggler pending
+        tail = b.flush()
+        assert len(tail) == 1 and b.flush() is None
+        assert b.batches_cut == 3
+        # No request lost, order preserved.
+        replayed = [r for batch in batches + [tail] for r in batch.requests]
+        assert replayed == reqs
+
+    def test_deadline_cut_via_injected_clock(self):
+        clock = _FakeClock()
+        b = Batcher(max_batch=100, max_wait_s=5.0, clock=clock)
+        b.submit(_mc_requests(1)[0])
+        assert b.poll() is None          # deadline not reached
+        clock.t = 4.99
+        assert b.poll() is None
+        clock.t = 5.0
+        batch = b.poll()
+        assert batch is not None and len(batch) == 1
+        assert b.poll() is None          # nothing pending anymore
+
+    def test_deadline_measured_from_oldest_request(self):
+        clock = _FakeClock()
+        b = Batcher(max_batch=100, max_wait_s=2.0, clock=clock)
+        reqs = _mc_requests(2)
+        b.submit(reqs[0])
+        clock.t = 1.9
+        b.submit(reqs[1])                # newer request does not reset it
+        clock.t = 2.0
+        assert len(b.poll()) == 2
+
+    def test_rejects_non_requests(self):
+        with pytest.raises(ValidationError):
+            Batcher().submit("not a request")
+
+    def test_batch_indices_increment(self):
+        b = Batcher(max_batch=1)
+        batches = [b.submit(r) for r in _mc_requests(3)]
+        assert [x.index for x in batches] == [0, 1, 2]
+
+
+class TestServiceBatching:
+    def test_results_in_submission_order(self):
+        reqs = _mc_requests(6)
+        with PricingService(max_batch=4) as svc:
+            for r in reqs:
+                svc.submit(r)
+            pairs = svc.flush()
+        assert [r for r, _ in pairs] == reqs
+
+    def test_batch_boundaries_never_move_a_price(self):
+        reqs = _mc_requests(9)
+        quotes = {}
+        for max_batch in (1, 4, 9):
+            with PricingService(max_batch=max_batch, cache=None) as svc:
+                quotes[max_batch] = svc.price_many(reqs)
+        ref = [float_bits(q.price) for q in quotes[9]]
+        for max_batch in (1, 4):
+            assert [float_bits(q.price) for q in quotes[max_batch]] == ref
+
+    def test_deadline_flush_with_fake_clock(self):
+        clock = _FakeClock()
+        reqs = _mc_requests(2)
+        with PricingService(max_batch=100, max_wait_s=1.0,
+                            clock=clock) as svc:
+            svc.submit(reqs[0])
+            assert svc.drain() == []
+            clock.t = 1.5
+            svc.poll()                   # deadline expired → executes
+            done = svc.drain()
+        assert len(done) == 1 and done[0][0] == reqs[0]
+
+    def test_close_flushes_pending(self):
+        reqs = _mc_requests(2)
+        svc = PricingService(max_batch=100)
+        for r in reqs:
+            svc.submit(r)
+        svc.close()
+        # close() ran the flush; a fresh drain has nothing left.
+        assert svc.drain() == []
+
+
+class TestDedupAndCache:
+    def test_duplicates_in_one_batch_priced_once(self):
+        w = basket_workload(2)
+        dup = PricingRequest(w, engine="mc", n_paths=1_000, seed=7)
+        reqs = [dup, dup, dup]
+        counting = _CountingBackend()
+        with PricingService(counting, max_batch=3, cache=None) as svc:
+            quotes = svc.price_many(reqs)
+        assert counting.tasks_seen == 1  # one compute fanned out to three
+        assert len({float_bits(q.price) for q in quotes}) == 1
+
+    def test_full_hit_replay_issues_zero_map_calls(self):
+        reqs = _mc_requests(5)
+        cache = PriceCache(32)
+        with PricingService(max_batch=5, cache=cache) as svc:
+            first = svc.price_many(reqs)
+            maps_after_first = svc.map_calls
+            second = svc.price_many(reqs)
+            assert svc.map_calls == maps_after_first  # zero new map calls
+        assert ([float_bits(q.price) for q in first]
+                == [float_bits(q.price) for q in second])
+        assert cache.hits == len(reqs)
+
+    def test_cache_shared_across_services(self):
+        reqs = _mc_requests(3)
+        cache = PriceCache(32)
+        with PricingService(max_batch=3, cache=cache) as svc:
+            first = svc.price_many(reqs)
+        with PricingService(max_batch=1, cache=cache) as svc:
+            second = svc.price_many(reqs)
+            assert svc.map_calls == 0
+        assert ([float_bits(q.price) for q in first]
+                == [float_bits(q.price) for q in second])
+
+    def test_metrics_counters(self):
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        reqs = _mc_requests(4)
+        cache = PriceCache(32)
+        with PricingService(max_batch=2, cache=cache,
+                            metrics=metrics) as svc:
+            svc.price_many(reqs + reqs)  # second half replays from cache
+        assert metrics.counter("serve.requests").value == 8
+        assert metrics.counter("serve.batches").value == 4
+        assert metrics.counter("serve.map_calls").value == 2
+        assert metrics.counter("serve.cache_hits").value == 4
+        assert metrics.counter("serve.cache_misses").value == 4
+        hist = metrics.histogram("serve.batch_size")
+        assert hist.count == 4
+
+
+class _CountingBackend(SerialBackend):
+    """Serial backend that counts the tasks it actually executes."""
+
+    def __init__(self):
+        super().__init__()
+        self.tasks_seen = 0
+
+    def _run_map(self, worker, tasks):
+        self.tasks_seen += len(tasks)
+        return super()._run_map(worker, tasks)
+
+
+class TestBackendNeutrality:
+    def test_serial_vs_thread_vs_process_bitwise(self):
+        reqs = _mc_requests(4)
+        with PricingService(max_batch=4, cache=None) as svc:
+            ref = [float_bits(q.price) for q in svc.price_many(reqs)]
+        for factory in (lambda: ThreadBackend(2),
+                        lambda: ProcessBackend(2)):
+            backend = factory()
+            try:
+                with PricingService(backend, max_batch=4, chunksize=2,
+                                    cache=None) as svc:
+                    got = [float_bits(q.price) for q in svc.price_many(reqs)]
+            finally:
+                backend.close()
+            assert got == ref
+
+    @pytest.mark.parametrize("engine,kwargs", [
+        ("lattice", {"steps": 16}),
+        ("pde", {"grid": 32, "steps": 16}),
+        ("lsm", {"steps": 8, "n_paths": 800}),
+    ])
+    def test_non_mc_engines_route_and_replay(self, engine, kwargs):
+        from repro.workloads.generators import rainbow_workload, spread_workload
+
+        w = {"lattice": rainbow_workload, "pde": spread_workload,
+             "lsm": lambda: basket_workload(2)}[engine]()
+        request = PricingRequest(w, engine=engine, **kwargs)
+        cache = PriceCache(8)
+        with PricingService(max_batch=1, cache=cache) as svc:
+            a = svc.price_many([request])[0]
+            b = svc.price_many([request])[0]
+        assert a.engine == engine
+        assert float_bits(a.price) == float_bits(b.price)
+        assert cache.hits == 1
+
+
+class TestRevalueScenarios:
+    def _scenarios(self, n=4_000, dim=3):
+        rng = np.random.default_rng(12)
+        return 80.0 + 40.0 * rng.random((n, dim))
+
+    def test_serial_matches_numpy_reference(self):
+        scen = self._scenarios()
+        payoffs = [BasketCall([1 / 3] * 3, k) for k in (90.0, 100.0, 110.0)]
+        got = revalue_scenarios(payoffs, scen, discount=0.95)
+        ref = [0.95 * float(np.mean(p.terminal(scen))) for p in payoffs]
+        assert got == ref
+
+    @pytest.mark.skipif(os.name != "posix", reason="fork backend is POSIX-only")
+    def test_process_shm_chunked_bitwise_equals_serial(self):
+        scen = self._scenarios()
+        payoffs = [BasketCall([1 / 3] * 3, 80.0 + k) for k in range(12)]
+        ref = revalue_scenarios(payoffs, scen)
+        with ProcessBackend(2, shm_min_bytes=1024) as backend:
+            got = revalue_scenarios(payoffs, scen, backend=backend,
+                                    chunksize=3)
+            assert backend.last_shm_segments  # the matrix actually crossed shm
+        assert [float_bits(x) for x in got] == [float_bits(x) for x in ref]
+
+    def test_rejects_non_matrix_scenarios(self):
+        with pytest.raises(ValidationError):
+            revalue_scenarios([Call(100.0)], np.zeros(5))
+
+
+class TestPortfolioServeIntegration:
+    def test_portfolio_cache_and_backend_bitwise(self):
+        from repro.core import PortfolioPricer
+
+        book = random_portfolio(6, seed=2)
+        base = PortfolioPricer(2_000, seed=5, steps=4).run(book, 2)
+        bits = [float_bits(r.price) for r in base.results]
+
+        cache = PriceCache(32)
+        first = PortfolioPricer(2_000, seed=5, steps=4, cache=cache,
+                                schedule="lpt").run(book, 2)
+        replay = PortfolioPricer(2_000, seed=5, steps=4, cache=cache,
+                                 schedule="cyclic").run(book, 2)
+        assert [float_bits(r.price) for r in first.results] == bits
+        assert [float_bits(r.price) for r in replay.results] == bits
+        assert cache.hits == len(book)  # second run fully served from cache
+        # Simulated accounting is unaffected by caching.
+        assert replay.sim_time > 0.0
+
+        with ThreadBackend(2) as backend:
+            threaded = PortfolioPricer(2_000, seed=5, steps=4,
+                                       backend=backend,
+                                       chunksize=2).run(book, 2)
+        assert [float_bits(r.price) for r in threaded.results] == bits
