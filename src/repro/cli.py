@@ -1,9 +1,12 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six commands cover the library's headline flows without writing code:
+Seven commands cover the library's headline flows without writing code:
 
 * ``price`` — price one contract with the MC engine and a confidence
   interval (optionally against the matching closed form);
+* ``engines`` — list every registered engine family with its capability
+  flags and the verification-corpus cases it participates in (``--csv``
+  for machine consumption);
 * ``scaling`` — run a strong-scaling sweep of one parallel engine on the
   simulated machine and print the full diagnostic table (optionally
   emitting a Chrome trace of the largest run via ``--emit-trace``);
@@ -22,6 +25,11 @@ Six commands cover the library's headline flows without writing code:
   and exit nonzero on any violation; ``--update`` rebaselines the golden
   snapshot after an intentional numerical change.
 
+Engine families are resolved by canonical name through the
+:class:`~repro.engine.registry.EngineRegistry` — the ``--engine`` choices
+and the per-engine workload/pricer factories all come from the registry,
+so a newly registered family shows up in every subcommand automatically.
+
 The functions return an exit code and print to stdout, so they are unit-
 testable without subprocesses.
 """
@@ -31,6 +39,8 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import Sequence
+
+from repro.engine.registry import default_registry
 
 __all__ = ["main", "build_parser"]
 
@@ -53,9 +63,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_price.add_argument("--qmc", action="store_true",
                          help="use randomized Sobol QMC instead of plain MC")
 
+    p_engines = sub.add_parser(
+        "engines",
+        help="list registered engine families, capability flags and the "
+             "verification-corpus cases each participates in",
+    )
+    p_engines.add_argument("--csv", action="store_true",
+                           help="emit the table as CSV instead of text")
+
     p_scale = sub.add_parser("scaling", help="strong-scaling sweep on the "
                                              "simulated machine")
-    p_scale.add_argument("--engine", choices=("mc", "lattice", "pde"),
+    p_scale.add_argument("--engine",
+                         choices=default_registry().names(scalable=True),
                          default="mc")
     p_scale.add_argument("--plist", default="1,2,4,8,16,32",
                          help="comma-separated processor counts")
@@ -77,7 +96,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="run one traced parallel pricing job; write Chrome-trace JSON "
              "(load in Perfetto / chrome://tracing) and a metrics snapshot",
     )
-    p_trace.add_argument("--engine", choices=("mc", "lattice", "pde", "lsm"),
+    p_trace.add_argument("--engine",
+                         choices=default_registry().names(traceable=True),
                          default="mc")
     p_trace.add_argument("--p", type=int, default=8,
                          help="simulated processor count")
@@ -179,11 +199,38 @@ def _cmd_price(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_engines(args: argparse.Namespace) -> int:
+    from repro.utils import Table
+    from repro.verify.contracts import default_corpus
+
+    cases_by_family: dict[str, list[str]] = {}
+    for case in default_corpus():
+        for family in case.engines:
+            cases_by_family.setdefault(family, []).append(case.name)
+
+    registry = default_registry()
+    table = Table(["engine", "kind", "capabilities", "max dim", "corpus cases",
+                   "summary"],
+                  title=f"{len(registry)} registered engine families")
+    for spec in registry.specs():
+        kind = "pipeline" if spec.pipeline is not None else "reference"
+        caps = spec.capabilities
+        max_dim = "-" if caps.max_dim is None else str(caps.max_dim)
+        table.add_row([spec.name, kind, ",".join(caps.flags()) or "-",
+                       max_dim, str(len(cases_by_family.get(spec.name, []))),
+                       spec.summary])
+    if args.csv:
+        from repro.perf.reporting import table_to_csv
+
+        print(table_to_csv(table), end="")
+    else:
+        print(table.render())
+    return 0
+
+
 def _cmd_scaling(args: argparse.Namespace) -> int:
-    from repro.core import ParallelLatticePricer, ParallelMCPricer, ParallelPDEPricer
     from repro.parallel import MachineSpec
     from repro.perf import ScalingExperiment
-    from repro.workloads import basket_workload, rainbow_workload, spread_workload
 
     try:
         p_list = [int(tok) for tok in args.plist.split(",") if tok.strip()]
@@ -195,19 +242,7 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
         print("error: --plist needs positive processor counts", file=sys.stderr)
         return 2
     spec = MachineSpec(alpha=args.alpha, beta=args.beta)
-    if args.engine == "mc":
-        w = basket_workload(4)
-        pricer = ParallelMCPricer(args.paths, seed=args.seed, spec=spec)
-        label = f"MC — 4-asset basket, N={args.paths}"
-    elif args.engine == "lattice":
-        w = rainbow_workload()
-        pricer = ParallelLatticePricer(args.steps, spec=spec)
-        label = f"BEG lattice — 2-asset max-call, {args.steps} steps"
-    else:
-        w = spread_workload()
-        pricer = ParallelPDEPricer(n_space=args.grid, n_time=max(args.steps // 8, 4),
-                                   spec=spec)
-        label = f"ADI PDE — spread call, {args.grid}² grid"
+    w, pricer, label = default_registry().get(args.engine).scaling(args, spec)
     exp = ScalingExperiment(pricer, w.model, w.payoff, w.expiry, label=label)
     print(exp.report(p_list))
     if args.emit_trace:
@@ -241,17 +276,9 @@ def _write_trace_artifacts(tracer, result, out_prefix: str) -> None:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    from repro.core import (
-        ParallelLatticePricer,
-        ParallelLSMPricer,
-        ParallelMCPricer,
-        ParallelPDEPricer,
-    )
     from repro.obs import Tracer, write_chrome_trace
     from repro.parallel import FaultPlan
     from repro.parallel.backends import make_backend
-    from repro.payoffs import BasketPut
-    from repro.workloads import basket_workload, rainbow_workload, spread_workload
 
     faults = None
     if args.fault_seed is not None:
@@ -261,35 +288,14 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     tracer = Tracer()  # simulated timeline (explicit timestamps only)
     worker_tracer = None
     backend = None
+    spec = default_registry().get(args.engine)
     try:
-        if args.engine == "mc":
-            w = basket_workload(4)
+        if spec.uses_backend:
             if args.backend != "serial":
                 worker_tracer = Tracer()  # wall clock: keep separate
             backend = make_backend(args.backend, tracer=worker_tracer)
-            pricer = ParallelMCPricer(args.paths, seed=args.seed,
-                                      backend=backend, record=True,
-                                      faults=faults, policy=args.policy,
-                                      tracer=tracer)
-        elif args.engine == "lattice":
-            w = rainbow_workload()
-            pricer = ParallelLatticePricer(args.steps, record=True,
-                                           faults=faults, policy=args.policy,
-                                           tracer=tracer)
-        elif args.engine == "pde":
-            w = spread_workload()
-            pricer = ParallelPDEPricer(n_space=args.grid,
-                                       n_time=max(args.steps // 8, 4),
-                                       record=True, faults=faults,
-                                       policy=args.policy, tracer=tracer)
-        else:
-            base = basket_workload(2)
-            w = type(base)("american-basket-put", base.model,
-                           BasketPut([0.5, 0.5], 100.0), base.expiry)
-            pricer = ParallelLSMPricer(args.paths, args.steps,
-                                       seed=args.seed, record=True,
-                                       faults=faults, policy=args.policy,
-                                       tracer=tracer)
+        w, pricer = spec.trace(args, faults=faults, policy=args.policy,
+                               tracer=tracer, backend=backend)
         result = pricer.price(w.model, w.payoff, w.expiry, args.p)
     finally:
         if backend is not None:
@@ -488,6 +494,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "price":
         return _cmd_price(args)
+    if args.command == "engines":
+        return _cmd_engines(args)
     if args.command == "scaling":
         return _cmd_scaling(args)
     if args.command == "trace":

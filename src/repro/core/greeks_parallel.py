@@ -13,24 +13,28 @@ CRN is preserved across ranks *and* bumps: rank r clones its substream for
 every model, so the differences delta/gamma/vega are smooth at any P and
 identical to the sequential :func:`repro.mc.mc_greeks_bump` estimator run
 on the same substream layout.
+
+This class is the configuration + public entry point; the staged
+implementation lives in :class:`repro.engine.greeks.GreeksEngine`, driven
+by the shared pipeline runner (:mod:`repro.engine.runner`) — which also
+makes the risk sweep backend-mappable (thread/process pools) like the MC
+pricer.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.result import ParallelRunResult
 from repro.core.work import WorkModel
-from repro.errors import ValidationError
+from repro.engine.greeks import GreeksEngine
+from repro.engine.runner import run_pipeline
 from repro.market.gbm import MultiAssetGBM
-from repro.mc.variance_reduction import PlainMC
-from repro.parallel.partition import block_sizes
-from repro.parallel.simcluster import MachineSpec, SimulatedCluster
+from repro.parallel.backends import ExecutionBackend
+from repro.parallel.simcluster import MachineSpec
 from repro.payoffs.base import Payoff
-from repro.rng import Philox4x32
 from repro.utils.validation import check_positive, check_positive_int
 
 __all__ = ["ParallelGreeksResult", "ParallelMCGreeks"]
@@ -57,6 +61,11 @@ class ParallelMCGreeks:
     n_paths : paths per valuation (each of the ``1+4d`` bumped models
         replays the same draws).
     rel_bump, vol_bump : bump sizes as in :func:`repro.mc.mc_greeks_bump`.
+    backend : real execution backend (default serial); the per-rank bump
+        revaluations are backend-mapped like the MC pricer's rank tasks.
+    chunksize : rank tasks per backend dispatch (transport only).
+    record, tracer, metrics : shared-runner middleware, as in the other
+        parallel pricers.
     """
 
     def __init__(
@@ -68,6 +77,11 @@ class ParallelMCGreeks:
         seed: int = 0,
         spec: MachineSpec | None = None,
         work: WorkModel | None = None,
+        backend: ExecutionBackend | None = None,
+        chunksize: int | str | None = None,
+        record: bool = False,
+        tracer=None,
+        metrics=None,
     ):
         self.n_paths = check_positive_int("n_paths", n_paths)
         self.rel_bump = check_positive("rel_bump", rel_bump)
@@ -75,6 +89,11 @@ class ParallelMCGreeks:
         self.seed = int(seed)
         self.spec = spec if spec is not None else MachineSpec()
         self.work = work if work is not None else WorkModel()
+        self.backend = backend
+        self.chunksize = chunksize
+        self.record = bool(record)
+        self.tracer = tracer
+        self.metrics = metrics
 
     def _bumped_models(self, model: MultiAssetGBM):
         """base + per-asset spot up/down + per-asset vol up/down."""
@@ -95,6 +114,16 @@ class ParallelMCGreeks:
             models.append(model.with_vols(vd))
         return models, bumps
 
+    def price(
+        self,
+        model: MultiAssetGBM,
+        payoff: Payoff,
+        expiry: float,
+        p: int,
+    ) -> ParallelRunResult:
+        """Run the risk sweep; returns just the base-price run result."""
+        return self.compute(model, payoff, expiry, p).run
+
     def compute(
         self,
         model: MultiAssetGBM,
@@ -103,83 +132,11 @@ class ParallelMCGreeks:
         p: int,
     ) -> ParallelGreeksResult:
         """Run the risk sweep on ``p`` simulated ranks."""
-        check_positive("expiry", expiry)
-        p = check_positive_int("p", p)
-        if payoff.dim != model.dim:
-            raise ValidationError(
-                f"payoff dim {payoff.dim} does not match model dim {model.dim}"
-            )
-        if p > self.n_paths:
-            raise ValidationError(f"more ranks ({p}) than paths ({self.n_paths})")
-        d = model.dim
-        models, spot_bumps = self._bumped_models(model)
-        n_models = len(models)
-        technique = PlainMC()
-        counts = block_sizes(self.n_paths, p)
-        if min(counts) == 0:
-            raise ValidationError("some rank would receive zero paths; lower p")
-        master = Philox4x32(self.seed, stream=0x9E)
-        subs = master.spawn(p)
-
-        wall0 = time.perf_counter()
-        # partials[r][j]: rank r's stats for bumped model j, same draws ∀j.
-        partials = []
-        for r in range(p):
-            row = []
-            for m_j in models:
-                row.append(
-                    technique.partial(m_j, payoff, expiry, counts[r],
-                                      subs[r].clone())
-                )
-            partials.append(tuple(row))
-        wall = time.perf_counter() - wall0
-
-        cluster = SimulatedCluster(p, self.spec)
-        units = self.work.mc_path_units(d, None) * n_models
-        cluster.compute_all([c * units for c in counts])
-        merged = cluster.reduce_data(
-            partials,
-            lambda a, b: tuple(x.merge(y) for x, y in zip(a, b)),
-            24.0 * n_models,
-            root=0,
-            topology="tree",
-        )
-        values = [s.mean for s in merged]
-        price = values[0]
-        stderr = merged[0].stderr
-
-        delta = np.empty(d)
-        gamma = np.empty(d)
-        vega = np.empty(d)
-        for i in range(d):
-            h = spot_bumps[i]
-            up, dn = values[1 + 2 * i], values[2 + 2 * i]
-            delta[i] = (up - dn) / (2.0 * h)
-            gamma[i] = (up - 2.0 * price + dn) / (h * h)
-        offset = 1 + 2 * d
-        for i in range(d):
-            vu_val = values[offset + 2 * i]
-            vd_val = values[offset + 2 * i + 1]
-            v_hi = float(model.vols[i]) + self.vol_bump
-            v_lo = max(float(model.vols[i]) - self.vol_bump, 1e-8)
-            vega[i] = (vu_val - vd_val) / (v_hi - v_lo)
-
-        rep = cluster.report()
-        run = ParallelRunResult(
-            price=price,
-            stderr=stderr,
-            p=p,
-            sim_time=rep["elapsed"],
-            wall_time=wall,
-            compute_time=rep["compute_time"],
-            comm_time=rep["comm_time"],
-            idle_time=rep["idle_time"],
-            messages=rep["messages"],
-            bytes_moved=rep["bytes_moved"],
-            engine="mc-greeks",
-            meta={"n_models": n_models, "counts": counts},
-        )
+        run, estimate = run_pipeline(GreeksEngine(self), model, payoff,
+                                     expiry, p)
         return ParallelGreeksResult(
-            price=price, stderr=stderr, delta=delta, gamma=gamma, vega=vega,
-            run=run, meta={"rel_bump": self.rel_bump, "vol_bump": self.vol_bump},
+            price=run.price, stderr=run.stderr,
+            delta=estimate.extras["delta"], gamma=estimate.extras["gamma"],
+            vega=estimate.extras["vega"], run=run,
+            meta={"rel_bump": self.rel_bump, "vol_bump": self.vol_bump},
         )

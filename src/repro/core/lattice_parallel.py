@@ -15,24 +15,23 @@ does not — the central comparison of the paper's evaluation.
 American exercise adds a per-level intrinsic evaluation on each slab
 (charged as extra work) and a max; values remain bit-identical to the
 sequential sweep, which the integration tests assert for every P.
+
+This class is the configuration + public entry point; the staged
+implementation lives in :class:`repro.engine.lattice.LatticeEngine`,
+driven by the shared pipeline runner (:mod:`repro.engine.runner`).
 """
 
 from __future__ import annotations
 
-import time
-
-import numpy as np
-
 from repro.core.result import ParallelRunResult
 from repro.core.work import WorkModel
-from repro.errors import ValidationError
-from repro.lattice.beg import BEGLattice
+from repro.engine.lattice import LatticeEngine
+from repro.engine.runner import run_engine
 from repro.market.gbm import MultiAssetGBM
-from repro.parallel.faults import FaultPlan, FaultPolicy, simulate_recovery
-from repro.parallel.partition import block_partition
-from repro.parallel.simcluster import MachineSpec, SimulatedCluster
+from repro.parallel.faults import FaultPlan, FaultPolicy
+from repro.parallel.simcluster import MachineSpec
 from repro.payoffs.base import Payoff
-from repro.utils.validation import check_positive, check_positive_int
+from repro.utils.validation import check_positive_int
 
 __all__ = ["ParallelLatticePricer"]
 
@@ -53,6 +52,9 @@ class ParallelLatticePricer:
     tracer : optional :class:`~repro.obs.Tracer` (simulated timeline):
         per-rank spans via the cluster plus ``lattice.level`` /
         ``lattice.halo`` phase spans on the main track.
+    metrics : optional :class:`~repro.obs.MetricsRegistry` fed by the
+        shared runner (``engine.runs`` / ``engine.wall_s`` /
+        ``engine.sim_s``, labeled by engine name).
     """
 
     def __init__(
@@ -66,6 +68,7 @@ class ParallelLatticePricer:
         faults: FaultPlan | None = None,
         policy: FaultPolicy | str | None = None,
         tracer=None,
+        metrics=None,
     ):
         self.steps = check_positive_int("steps", steps)
         self.american = bool(american)
@@ -77,6 +80,7 @@ class ParallelLatticePricer:
         self.faults = faults
         self.policy = FaultPolicy.parse(policy)
         self.tracer = tracer
+        self.metrics = metrics
 
     def price(
         self,
@@ -86,92 +90,7 @@ class ParallelLatticePricer:
         p: int,
     ) -> ParallelRunResult:
         """Value ``payoff`` on ``p`` simulated ranks."""
-        check_positive("expiry", expiry)
-        p = check_positive_int("p", p)
-        lattice = BEGLattice(model, expiry, self.steps)
-        d = model.dim
-        n = self.steps
-        node_units = self.work.lattice_node_units(d)
-        intr_units = self.work.intrinsic_node_units(d)
-        cluster = SimulatedCluster(p, self.spec, record=self.record,
-                                   faults=self.faults, tracer=self.tracer)
-        tracer = self.tracer
-
-        wall0 = time.perf_counter()
-        values = lattice.payoff_values(payoff, n)
-        # Leaf evaluation is parallel over slabs of the terminal tensor.
-        leaf_parts = block_partition(n + 1, min(p, n + 1))
-        plane_leaf = (n + 1) ** (d - 1)
-        for r, (lo, hi) in enumerate(leaf_parts):
-            cluster.compute(r, (hi - lo) * plane_leaf * intr_units)
-        if tracer:
-            tracer.add_span("lattice.leaves", 0.0, cluster.elapsed())
-
-        for t in range(n - 1, -1, -1):
-            level_t0 = cluster.elapsed()
-            rows = t + 1
-            p_eff = min(p, rows)
-            parts = block_partition(rows, p_eff)
-            slabs = []
-            for lo, hi in parts:
-                slab = lattice.step_rows(values[lo : hi + 1], t, lo, hi - lo)
-                slabs.append(slab)
-            new_values = np.concatenate(slabs, axis=0)
-            if self.american:
-                intrinsic = lattice.payoff_values(payoff, t)
-                np.maximum(new_values, intrinsic, out=new_values)
-            values = new_values
-
-            # --- simulated cost of this level ---
-            plane = rows ** (d - 1)
-            for r, (lo, hi) in enumerate(parts):
-                work_units = (hi - lo) * plane * node_units
-                if self.american:
-                    work_units += (hi - lo) * plane * intr_units
-                cluster.compute(r, work_units)
-            # One halo plane of level t+1 moves across each slab boundary.
-            halo_bytes = ((t + 2) ** (d - 1)) * 8.0
-            halo_t0 = cluster.elapsed()
-            cluster.halo_exchange(halo_bytes)
-            if tracer:
-                tracer.add_span("lattice.halo", halo_t0, cluster.elapsed(),
-                                level=t, nbytes=halo_bytes)
-                tracer.add_span("lattice.level", level_t0, cluster.elapsed(),
-                                level=t, rows=rows)
-        wall = time.perf_counter() - wall0
-
-        fault_report = simulate_recovery(cluster, self.faults, self.policy,
-                                         engine="lattice")
-
-        # Root value lives on rank 0; share it (the paper's codes broadcast
-        # the final price so every node can report).
-        cluster.bcast(8.0, root=0)
-
-        price = float(np.asarray(values).reshape(-1)[0])
-        rep = cluster.report()
-        nodes = sum((t + 1) ** d for t in range(n + 1))
-        return ParallelRunResult(
-            price=price,
-            stderr=0.0,
-            p=p,
-            sim_time=rep["elapsed"],
-            wall_time=wall,
-            compute_time=rep["compute_time"],
-            comm_time=rep["comm_time"],
-            idle_time=rep["idle_time"],
-            messages=rep["messages"],
-            bytes_moved=rep["bytes_moved"],
-            engine="lattice",
-            meta={
-                "steps": n,
-                "dim": d,
-                "branching": 2 ** d,
-                "nodes": nodes,
-                "american": self.american,
-                **({"cluster": cluster} if self.record else {}),
-                **({"fault_report": fault_report} if fault_report else {}),
-            },
-        )
+        return run_engine(LatticeEngine(self), model, payoff, expiry, p)
 
     def sweep(self, model, payoff, expiry, p_list) -> list[ParallelRunResult]:
         """Price at each P in ``p_list``."""

@@ -24,27 +24,23 @@ The sequential reference solves the same normal equations
 equivalent for these small, scaled bases); paths are generated from the
 master seed independently of P, so the estimate varies across P only
 through the allreduce's floating-point association.
+
+This class is the configuration + public entry point; the staged
+implementation lives in :class:`repro.engine.lsm.LSMEngine`, driven by
+the shared pipeline runner (:mod:`repro.engine.runner`).
 """
 
 from __future__ import annotations
 
-import math
-import time
-
-import numpy as np
-
 from repro.core.result import ParallelRunResult
 from repro.core.work import WorkModel
-from repro.errors import ValidationError
+from repro.engine.lsm import LSMEngine
+from repro.engine.runner import run_engine
 from repro.market.gbm import MultiAssetGBM
-from repro.mc.american import polynomial_features
-from repro.mc.statistics import SampleStats
-from repro.parallel.faults import FaultPlan, FaultPolicy, simulate_recovery
-from repro.parallel.partition import block_partition
-from repro.parallel.simcluster import MachineSpec, SimulatedCluster
+from repro.parallel.faults import FaultPlan, FaultPolicy
+from repro.parallel.simcluster import MachineSpec
 from repro.payoffs.base import Payoff
-from repro.rng import Philox4x32
-from repro.utils.validation import check_positive, check_positive_int
+from repro.utils.validation import check_positive_int
 
 __all__ = ["ParallelLSMPricer"]
 
@@ -66,6 +62,9 @@ class ParallelLSMPricer:
     tracer : optional :class:`~repro.obs.Tracer` (simulated timeline):
         per-rank spans via the cluster plus ``lsm.paths`` / per-date
         ``lsm.regression`` / ``lsm.reduce`` phase spans on the main track.
+    metrics : optional :class:`~repro.obs.MetricsRegistry` fed by the
+        shared runner (``engine.runs`` / ``engine.wall_s`` /
+        ``engine.sim_s``, labeled by engine name).
     """
 
     def __init__(
@@ -82,6 +81,7 @@ class ParallelLSMPricer:
         faults: FaultPlan | None = None,
         policy: FaultPolicy | str | None = None,
         tracer=None,
+        metrics=None,
     ):
         self.n_paths = check_positive_int("n_paths", n_paths)
         self.steps = check_positive_int("steps", steps)
@@ -96,6 +96,7 @@ class ParallelLSMPricer:
         self.faults = faults
         self.policy = FaultPolicy.parse(policy)
         self.tracer = tracer
+        self.metrics = metrics
 
     def price(
         self,
@@ -105,120 +106,7 @@ class ParallelLSMPricer:
         p: int,
     ) -> ParallelRunResult:
         """Price an American/Bermudan contract on ``p`` simulated ranks."""
-        check_positive("expiry", expiry)
-        p = check_positive_int("p", p)
-        if payoff.dim != model.dim:
-            raise ValidationError(
-                f"payoff dim {payoff.dim} does not match model dim {model.dim}"
-            )
-        n, m, d = self.n_paths, self.steps, model.dim
-        if p > n:
-            raise ValidationError(f"more ranks ({p}) than paths ({n})")
-        parts = block_partition(n, p)
-
-        wall0 = time.perf_counter()
-        # Paths come from the master stream regardless of P (the estimate is
-        # then P-invariant up to the allreduce's float association).
-        paths = model.sample_paths(Philox4x32(self.seed, stream=0x15A), n,
-                                   expiry, m)
-        dt = expiry / m
-        disc = math.exp(-model.rate * dt)
-
-        cash = payoff.intrinsic(paths[:, -1, :])
-        tau = np.full(n, m, dtype=np.int64)
-
-        cluster = SimulatedCluster(p, self.spec, record=self.record,
-                                   faults=self.faults, tracer=self.tracer)
-        tracer = self.tracer
-        path_units = self.work.mc_path_units(d, m)
-        for r, (lo, hi) in enumerate(parts):
-            cluster.compute(r, (hi - lo) * path_units)
-        if tracer:
-            tracer.add_span("lsm.paths", 0.0, cluster.elapsed())
-
-        # Basis size for the work model and the allreduce payload.
-        k = polynomial_features(np.ones((1, d)), self.degree,
-                                model.spots).shape[1]
-        moment_bytes = (k * k + k + 1) * 8.0
-
-        for t in range(m - 1, 0, -1):
-            date_t0 = cluster.elapsed()
-            s_t = paths[:, t, :]
-            intrinsic = payoff.intrinsic(s_t)
-            itm = intrinsic > 0.0
-            realized = cash * np.power(disc, tau - t)
-
-            # --- per-rank local moments + simulated cost -------------------
-            a_global = np.zeros((k, k))
-            b_global = np.zeros(k)
-            count_global = 0
-            for r, (lo, hi) in enumerate(parts):
-                sel = np.zeros(n, dtype=bool)
-                sel[lo:hi] = itm[lo:hi]
-                n_sel = int(sel.sum())
-                count_global += n_sel
-                if n_sel:
-                    x_loc = polynomial_features(s_t[sel], self.degree,
-                                                model.spots)
-                    a_global += x_loc.T @ x_loc
-                    b_global += x_loc.T @ realized[sel]
-                cluster.compute(r, n_sel * self.work.regression_per_path * k)
-            cluster.allreduce(moment_bytes)
-            if tracer:
-                tracer.add_span("lsm.regression", date_t0, cluster.elapsed(),
-                                date=t, itm_paths=count_global)
-
-            if count_global < self.min_regression_paths:
-                continue
-            # Ridge whisker for rank-deficient dates (few ITM paths).
-            coef = np.linalg.solve(
-                a_global + 1e-10 * np.trace(a_global) / k * np.eye(k), b_global
-            )
-
-            # --- local exercise decisions ---------------------------------
-            continuation = polynomial_features(s_t[itm], self.degree,
-                                               model.spots) @ coef
-            exercise = np.zeros(n, dtype=bool)
-            exercise[itm] = intrinsic[itm] >= continuation
-            cash = np.where(exercise, intrinsic, cash)
-            tau = np.where(exercise, t, tau)
-            for r, (lo, hi) in enumerate(parts):
-                cluster.compute(r, (hi - lo) * 2.0)
-
-        fault_report = simulate_recovery(cluster, self.faults, self.policy,
-                                         engine="lsm")
-        pv = cash * np.exp(-model.rate * dt * tau)
-        partials = [SampleStats.from_values(pv[lo:hi]) for lo, hi in parts]
-        reduce_t0 = cluster.elapsed()
-        merged = cluster.reduce_data(partials, lambda a, b: a.merge(b), 24.0,
-                                     root=0, topology="tree")
-        if tracer:
-            tracer.add_span("lsm.reduce", reduce_t0, cluster.elapsed())
-        price = merged.mean
-        stderr = merged.stderr
-        intrinsic0 = float(payoff.intrinsic(paths[:, 0, :])[0])
-        if intrinsic0 > price:
-            price = intrinsic0
-        wall = time.perf_counter() - wall0
-
-        rep = cluster.report()
-        return ParallelRunResult(
-            price=price,
-            stderr=stderr,
-            p=p,
-            sim_time=rep["elapsed"],
-            wall_time=wall,
-            compute_time=rep["compute_time"],
-            comm_time=rep["comm_time"],
-            idle_time=rep["idle_time"],
-            messages=rep["messages"],
-            bytes_moved=rep["bytes_moved"],
-            engine="lsm",
-            meta={"steps": m, "degree": self.degree, "basis_size": k,
-                  "n_paths": n,
-                  **({"cluster": cluster} if self.record else {}),
-                  **({"fault_report": fault_report} if fault_report else {})},
-        )
+        return run_engine(LSMEngine(self), model, payoff, expiry, p)
 
     def sweep(self, model, payoff, expiry, p_list) -> list[ParallelRunResult]:
         """Price at each P in ``p_list``."""

@@ -19,52 +19,31 @@ backends. Simulated time charges each rank its per-path work and the
 reduction its α–β cost; with O(1) payloads the communication term is
 ⌈log₂ P⌉(α + 24β), which is why this workload scales almost linearly
 (experiments T2/F1/F2).
+
+This class is the configuration + public entry point; the staged
+implementation lives in :class:`repro.engine.mc.MCEngine`, driven by the
+shared pipeline runner (:mod:`repro.engine.runner`), which applies the
+fault, tracing, chunking, timing and metrics middleware once for every
+engine family.
 """
 
 from __future__ import annotations
 
-import time
-
-import numpy as np
-
-from repro.errors import ValidationError
 from repro.core.result import ParallelRunResult
 from repro.core.work import WorkModel
+from repro.engine.mc import MCEngine, _partial_nbytes, _rank_task  # noqa: F401 — re-exported for backward compatibility (portfolio, pickled tasks)
+from repro.engine.runner import run_engine
+from repro.errors import ValidationError
 from repro.market.gbm import MultiAssetGBM
-from repro.mc.qmc import QMCSobol
-from repro.mc.statistics import CrossStats, SampleStats, StrataStats
 from repro.mc.variance_reduction import PlainMC, Technique
 from repro.parallel.backends import ExecutionBackend, SerialBackend
-from repro.parallel.faults import FaultPlan, FaultPolicy, charge_report, resilient_map
-from repro.parallel.partition import block_sizes
-from repro.parallel.simcluster import MachineSpec, SimulatedCluster
+from repro.parallel.faults import FaultPlan, FaultPolicy
+from repro.parallel.simcluster import MachineSpec
 from repro.payoffs.base import Payoff
-from repro.rng import Philox4x32
-from repro.rng.streams import StreamPartition, make_substreams
-from repro.utils.validation import check_positive, check_positive_int
+from repro.rng.streams import StreamPartition
+from repro.utils.validation import check_positive_int
 
 __all__ = ["ParallelMCPricer"]
-
-
-def _partial_nbytes(partial) -> float:
-    """Wire size (bytes) of one technique partial — the reduce payload."""
-    if isinstance(partial, SampleStats):
-        return 3 * 8
-    if isinstance(partial, CrossStats):
-        return 6 * 8
-    if isinstance(partial, StrataStats):
-        return 3 * 8 * len(partial.strata)
-    if isinstance(partial, tuple):  # QMC replicate tuple
-        return sum(_partial_nbytes(p) for p in partial)
-    raise ValidationError(f"unknown partial type {type(partial).__name__}")
-
-
-def _rank_task(task):
-    """Module-level worker (picklable for the process backend)."""
-    technique, model, payoff, expiry, n, gen, steps, skip = task
-    if skip is None:
-        return technique.partial(model, payoff, expiry, n, gen, steps=steps)
-    return technique.partial(model, payoff, expiry, n, gen, steps=steps, skip=skip)
 
 
 class ParallelMCPricer:
@@ -98,6 +77,9 @@ class ParallelMCPricer:
         (via the cluster) plus ``mc.paths`` / ``mc.reduce`` phase spans on
         the main track. Real-backend worker spans live on the *backend's*
         tracer instead (wall clock) — keep the two separate.
+    metrics : optional :class:`~repro.obs.MetricsRegistry`; each run feeds
+        the shared ``engine.runs`` / ``engine.wall_s`` / ``engine.sim_s``
+        series, labeled by engine name.
     """
 
     def __init__(
@@ -117,6 +99,7 @@ class ParallelMCPricer:
         policy: FaultPolicy | str | None = None,
         tracer=None,
         chunksize: int | str | None = None,
+        metrics=None,
     ):
         self.n_paths = check_positive_int("n_paths", n_paths)
         self.technique = technique if technique is not None else PlainMC()
@@ -141,40 +124,9 @@ class ParallelMCPricer:
         #: (None = one, "auto" = suggest_chunksize). Transport only — the
         #: estimate is chunking-invariant (asserted in the backend tests).
         self.chunksize = chunksize
+        self.metrics = metrics
 
     # ------------------------------------------------------------------
-
-    def _build_tasks(self, model, payoff, expiry, p):
-        """Per-rank task tuples plus per-rank path counts."""
-        if isinstance(self.technique, QMCSobol):
-            reps = self.technique.replicates
-            if self.n_paths % reps:
-                raise ValidationError(
-                    f"n_paths={self.n_paths} must be a multiple of the QMC "
-                    f"replicate count {reps}"
-                )
-            per_rep = self.n_paths // reps
-            sizes = block_sizes(per_rep, p)
-            offsets = np.concatenate([[0], np.cumsum(sizes)[:-1]])
-            gens = [Philox4x32(self.seed, stream=r) for r in range(p)]  # unused by QMC
-            tasks = []
-            counts = []
-            for r in range(p):
-                n_r = sizes[r] * reps
-                counts.append(n_r)
-                tasks.append(
-                    (self.technique, model, payoff, expiry, n_r, gens[r],
-                     self.steps, int(offsets[r]))
-                )
-            return tasks, counts
-        master = Philox4x32(self.seed)
-        subs = make_substreams(master, p, self.scheme)
-        counts = block_sizes(self.n_paths, p)
-        tasks = [
-            (self.technique, model, payoff, expiry, counts[r], subs[r], self.steps, None)
-            for r in range(p)
-        ]
-        return tasks, counts
 
     def price(
         self,
@@ -184,117 +136,7 @@ class ParallelMCPricer:
         p: int,
     ) -> ParallelRunResult:
         """Price on ``p`` simulated ranks; returns estimate + T(P) breakdown."""
-        check_positive("expiry", expiry)
-        p = check_positive_int("p", p)
-        if p > self.n_paths:
-            raise ValidationError(f"more ranks ({p}) than paths ({self.n_paths})")
-        if payoff.dim != model.dim:
-            raise ValidationError(
-                f"payoff dim {payoff.dim} does not match model dim {model.dim}"
-            )
-        tasks, counts = self._build_tasks(model, payoff, expiry, p)
-        zero_ranks = [r for r, c in enumerate(counts) if c == 0]
-        if zero_ranks:
-            raise ValidationError(
-                f"ranks {zero_ranks} would receive zero paths; reduce p or raise n_paths"
-            )
-
-        inject = self.faults is not None and not self.faults.is_empty
-        wall0 = time.perf_counter()
-        if inject:
-            partials, fault_report = resilient_map(
-                self.backend, _rank_task, tasks,
-                plan=self.faults, policy=self.policy,
-                chunksize=self.chunksize,
-            )
-        else:
-            # Fault-free fast path: identical to the pre-resilience code
-            # (one branch of overhead — asserted <5% by benchmark F13).
-            partials = self.backend.map(_rank_task, tasks,
-                                        chunksize=self.chunksize)
-            fault_report = None
-        wall = time.perf_counter() - wall0
-
-        # --- simulated machine accounting ---
-        cluster = SimulatedCluster(p, self.spec, record=self.record,
-                                   faults=self.faults, tracer=self.tracer)
-        tracer = self.tracer
-        units = self.work.mc_path_units(model.dim, self.steps)
-        if fault_report is None:
-            cluster.compute_all([c * units for c in counts])
-        else:
-            # Recovery first (wasted attempts + backoff), then the charge
-            # for the attempt that finally succeeded; lost ranks only ever
-            # burned fault time.
-            base_seconds = [
-                counts[r] * units * self.spec.flop_time * self.faults.slowdown(r)
-                for r in range(p)
-            ]
-            charge_report(cluster, fault_report, base_seconds, self.policy)
-            for r in range(p):
-                if r not in fault_report.lost_ranks:
-                    cluster.compute(r, counts[r] * units)
-        if tracer:
-            tracer.add_span("mc.paths", 0.0, cluster.elapsed())
-        reduce_t0 = cluster.elapsed()
-
-        if fault_report is not None and fault_report.lost_ranks:
-            # Degraded repricing: merge the survivors in rank order and
-            # charge the reduction schedule; the estimator sees fewer
-            # paths, so its standard error (the reported CI) widens.
-            survivors = [partials[r] for r in range(p)
-                         if r not in fault_report.lost_ranks]
-            merged = self.technique.combine(survivors)
-            cluster.reduce(_partial_nbytes(survivors[0]), root=0,
-                           topology=self.reduce_topology)
-        else:
-            # The partials travel the simulated reduction schedule: the
-            # merged value (including its floating-point association order)
-            # is exactly what the modeled machine's reduce would deliver at
-            # rank 0. Shared by the fault-free and fully-recovered paths,
-            # so a retry-recovered price equals the fault-free one bitwise.
-            merged = cluster.reduce_data(
-                partials,
-                lambda a, b: self.technique.combine([a, b]),
-                _partial_nbytes(partials[0]),
-                root=0,
-                topology=self.reduce_topology,
-            )
-        if tracer:
-            tracer.add_span("mc.reduce", reduce_t0, cluster.elapsed(),
-                            topology=self.reduce_topology)
-        price, stderr, n_eff = self.technique.finalize(merged)
-        rep = cluster.report()
-        return ParallelRunResult(
-            price=price,
-            stderr=stderr,
-            p=p,
-            sim_time=rep["elapsed"],
-            wall_time=wall,
-            compute_time=rep["compute_time"],
-            comm_time=rep["comm_time"],
-            idle_time=rep["idle_time"],
-            messages=rep["messages"],
-            bytes_moved=rep["bytes_moved"],
-            engine="mc",
-            meta={
-                "technique": self.technique.name,
-                "n_paths": n_eff,
-                "scheme": self.scheme.value,
-                "reduce_topology": self.reduce_topology,
-                "counts": counts,
-                **({"cluster": cluster} if self.record else {}),
-                **(
-                    {
-                        "fault_report": fault_report,
-                        "degraded": fault_report.degraded,
-                        "lost_ranks": fault_report.lost_ranks,
-                    }
-                    if fault_report is not None
-                    else {}
-                ),
-            },
-        )
+        return run_engine(MCEngine(self), model, payoff, expiry, p)
 
     def sweep(self, model, payoff, expiry, p_list) -> list[ParallelRunResult]:
         """Price at each P in ``p_list`` (fresh cluster per point)."""

@@ -18,24 +18,23 @@ The rank-block computations here are *actually executed* block by block
 (each rank's columns solved independently) and reassembled; the integration
 tests assert the assembled plane is bit-identical to the sequential
 :class:`~repro.pde.ADISolver` step for every P.
+
+This class is the configuration + public entry point; the staged
+implementation lives in :class:`repro.engine.pde.PDEEngine`, driven by
+the shared pipeline runner (:mod:`repro.engine.runner`).
 """
 
 from __future__ import annotations
 
-import time
-
-import numpy as np
-
 from repro.core.result import ParallelRunResult
 from repro.core.work import WorkModel
-from repro.errors import ValidationError
+from repro.engine.pde import PDEEngine
+from repro.engine.runner import run_engine
 from repro.market.gbm import MultiAssetGBM
-from repro.parallel.faults import FaultPlan, FaultPolicy, simulate_recovery
-from repro.parallel.partition import block_partition
-from repro.parallel.simcluster import MachineSpec, SimulatedCluster
-from repro.pde.adi2d import ADISolver
+from repro.parallel.faults import FaultPlan, FaultPolicy
+from repro.parallel.simcluster import MachineSpec
 from repro.payoffs.base import Payoff
-from repro.utils.validation import check_positive, check_positive_int
+from repro.utils.validation import check_positive_int
 
 __all__ = ["ParallelPDEPricer"]
 
@@ -54,6 +53,9 @@ class ParallelPDEPricer:
     tracer : optional :class:`~repro.obs.Tracer` (simulated timeline):
         per-rank spans via the cluster plus per-step ``pde.step`` spans
         with nested ``pde.transpose`` exchanges on the main track.
+    metrics : optional :class:`~repro.obs.MetricsRegistry` fed by the
+        shared runner (``engine.runs`` / ``engine.wall_s`` /
+        ``engine.sim_s``, labeled by engine name).
     """
 
     def __init__(
@@ -68,6 +70,7 @@ class ParallelPDEPricer:
         faults: FaultPlan | None = None,
         policy: FaultPolicy | str | None = None,
         tracer=None,
+        metrics=None,
     ):
         self.n_space = check_positive_int("n_space", n_space)
         self.n_time = check_positive_int("n_time", n_time)
@@ -80,55 +83,7 @@ class ParallelPDEPricer:
         self.faults = faults
         self.policy = FaultPolicy.parse(policy)
         self.tracer = tracer
-
-    def _transpose(self, cluster: SimulatedCluster, nbytes: float) -> None:
-        """All-to-all layout switch, traced as a ``pde.transpose`` span."""
-        t0 = cluster.elapsed()
-        cluster.alltoall(nbytes)
-        if self.tracer:
-            self.tracer.add_span("pde.transpose", t0, cluster.elapsed())
-
-    def _parallel_step(
-        self, solver: ADISolver, v: np.ndarray, p: int, cluster: SimulatedCluster,
-        obstacle: np.ndarray | None,
-    ) -> np.ndarray:
-        """One ADI step computed block-by-block with cost accounting."""
-        nx, ny = v.shape
-        w = self.work
-        # Phase 0 (row layout): explicit_y + mixed term on row blocks.
-        mixed = 0.5 * solver.dt * solver.mixed_term(v)
-        rhs1 = solver.explicit_y(v) + mixed
-        row_parts = block_partition(nx, min(p, nx))
-        for r, (lo, hi) in enumerate(row_parts):
-            cluster.compute(r, (hi - lo) * ny * (w.fd_explicit_point + w.fd_mixed_point))
-
-        # Transpose rows → columns.
-        self._transpose(cluster, nx * ny * 8.0 / (p * p))
-
-        # Phase 1 (column layout): x-implicit solves on column blocks.
-        col_parts = block_partition(ny, min(p, ny))
-        v_star = np.empty_like(v)
-        for r, (lo, hi) in enumerate(col_parts):
-            v_star[:, lo:hi] = solver.implicit_x(rhs1[:, lo:hi])
-            cluster.compute(r, (hi - lo) * nx * w.fd_point)
-        # explicit_x is also column-independent; stay in column layout.
-        rhs2 = solver.explicit_x(v_star) + mixed
-        for r, (lo, hi) in enumerate(col_parts):
-            cluster.compute(r, (hi - lo) * nx * w.fd_explicit_point)
-
-        # Transpose columns → rows.
-        self._transpose(cluster, nx * ny * 8.0 / (p * p))
-
-        # Phase 2 (row layout): y-implicit solves on row blocks.
-        v_new = np.empty_like(v)
-        for r, (lo, hi) in enumerate(row_parts):
-            v_new[lo:hi, :] = solver.implicit_y(rhs2[lo:hi, :])
-            cluster.compute(r, (hi - lo) * ny * w.fd_point)
-        if obstacle is not None:
-            np.maximum(v_new, obstacle, out=v_new)
-            for r, (lo, hi) in enumerate(row_parts):
-                cluster.compute(r, (hi - lo) * ny * 1.0)
-        return v_new
+        self.metrics = metrics
 
     def price(
         self,
@@ -138,55 +93,7 @@ class ParallelPDEPricer:
         p: int,
     ) -> ParallelRunResult:
         """Value a 2-asset contract on ``p`` simulated ranks."""
-        check_positive("expiry", expiry)
-        p = check_positive_int("p", p)
-        if model.dim != 2:
-            raise ValidationError(f"PDE pricer requires a 2-asset model, got dim={model.dim}")
-        solver = ADISolver(
-            model, expiry, n_space=self.n_space, n_time=self.n_time
-        )
-        sx, sy = solver.grid_x.s, solver.grid_y.s
-        mesh = np.stack(np.meshgrid(sx, sy, indexing="ij"), axis=-1).reshape(-1, 2)
-        values = payoff.terminal(mesh).reshape(sx.size, sy.size)
-        obstacle = values.copy() if self.american else None
-        cluster = SimulatedCluster(p, self.spec, record=self.record,
-                                   faults=self.faults, tracer=self.tracer)
-
-        wall0 = time.perf_counter()
-        for step in range(self.n_time):
-            step_t0 = cluster.elapsed()
-            values = self._parallel_step(solver, values, p, cluster, obstacle)
-            if self.tracer:
-                self.tracer.add_span("pde.step", step_t0, cluster.elapsed(),
-                                     step=step)
-        wall = time.perf_counter() - wall0
-
-        fault_report = simulate_recovery(cluster, self.faults, self.policy,
-                                         engine="pde")
-        cluster.bcast(8.0, root=0)
-        i, j = solver.grid_x.spot_index, solver.grid_y.spot_index
-        price = float(values[i, j])
-        rep = cluster.report()
-        return ParallelRunResult(
-            price=price,
-            stderr=0.0,
-            p=p,
-            sim_time=rep["elapsed"],
-            wall_time=wall,
-            compute_time=rep["compute_time"],
-            comm_time=rep["comm_time"],
-            idle_time=rep["idle_time"],
-            messages=rep["messages"],
-            bytes_moved=rep["bytes_moved"],
-            engine="pde",
-            meta={
-                "n_space": self.n_space,
-                "n_time": self.n_time,
-                "american": self.american,
-                **({"cluster": cluster} if self.record else {}),
-                **({"fault_report": fault_report} if fault_report else {}),
-            },
-        )
+        return run_engine(PDEEngine(self), model, payoff, expiry, p)
 
     def sweep(self, model, payoff, expiry, p_list) -> list[ParallelRunResult]:
         """Price at each P in ``p_list``."""

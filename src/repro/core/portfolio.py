@@ -143,7 +143,7 @@ class PortfolioPricer:
 
     def _price_contracts(self, workloads: list[Workload]) -> list[MCResult]:
         """Value every contract (cache front, then inline or backend.map)."""
-        from repro.core.mc_parallel import _rank_task
+        from repro.engine.mc import _rank_task
 
         technique = PlainMC()
         master = Philox4x32(self.seed, stream=0xB00C)

@@ -1,51 +1,11 @@
-"""Result object shared by all parallel pricers."""
+"""Result object shared by all parallel pricers.
+
+The dataclass now lives in :mod:`repro.engine.result` (the pipeline runner
+assembles it); this module remains the historical import path.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from repro.engine.result import ParallelRunResult
 
 __all__ = ["ParallelRunResult"]
-
-
-@dataclass(frozen=True)
-class ParallelRunResult:
-    """One parallel pricing run on ``p`` ranks.
-
-    Attributes
-    ----------
-    price, stderr : the estimate (stderr 0.0 for deterministic engines).
-    p : rank count.
-    sim_time : simulated parallel execution time T(P) in seconds — the
-        quantity the paper's tables report.
-    wall_time : actual wall-clock seconds of this run (backend-dependent;
-        meaningless as a speedup measure on a single-core host).
-    compute_time, comm_time, idle_time : simulated per-rank maxima, the
-        overhead decomposition of ``sim_time``.
-    messages, bytes_moved : simulated communication volume.
-    engine : "mc" | "lattice" | "pde".
-    meta : engine-specific diagnostics.
-    """
-
-    price: float
-    stderr: float
-    p: int
-    sim_time: float
-    wall_time: float
-    compute_time: float
-    comm_time: float
-    idle_time: float
-    messages: int
-    bytes_moved: float
-    engine: str
-    meta: dict = field(default_factory=dict)
-
-    @property
-    def comm_fraction(self) -> float:
-        """Share of simulated time spent communicating (0 when sim_time=0)."""
-        return self.comm_time / self.sim_time if self.sim_time > 0 else 0.0
-
-    def __str__(self) -> str:
-        return (
-            f"{self.price:.6f} [{self.engine}, P={self.p}] "
-            f"T_sim={self.sim_time:.4g}s (comm {100 * self.comm_fraction:.1f}%)"
-        )

@@ -1,0 +1,52 @@
+"""The unified engine pipeline: Plan → Partition → Execute → Reduce → Report.
+
+Every parallel pricing family is one :class:`PipelineEngine` with explicit
+stages, driven by the shared :func:`run_pipeline` runner that applies the
+cross-cutting middleware (fault injection, tracing, metrics, chunked
+backend maps, wall-clock timing) exactly once. The
+:class:`EngineRegistry` maps canonical engine names
+(:mod:`repro.engine.names`) to capability flags and per-subsystem factory
+hooks, so the serving layer, the verification oracle, the workload suites
+and the CLI all resolve engines the same way.
+
+The legacy :mod:`repro.core` pricer classes remain the public entry points
+— they are thin config adapters over these engines.
+"""
+
+from repro.engine import names
+from repro.engine.names import PARALLEL_ENGINES, REFERENCE_FAMILIES
+from repro.engine.pipeline import (
+    Estimate,
+    ExecutionPlan,
+    PipelineContext,
+    PipelineEngine,
+    PricingJob,
+    RankTask,
+)
+from repro.engine.registry import (
+    EngineCapabilities,
+    EngineRegistry,
+    EngineSpec,
+    default_registry,
+)
+from repro.engine.result import ParallelRunResult
+from repro.engine.runner import run_engine, run_pipeline
+
+__all__ = [
+    "names",
+    "PARALLEL_ENGINES",
+    "REFERENCE_FAMILIES",
+    "PricingJob",
+    "ExecutionPlan",
+    "RankTask",
+    "Estimate",
+    "PipelineContext",
+    "PipelineEngine",
+    "ParallelRunResult",
+    "run_pipeline",
+    "run_engine",
+    "EngineCapabilities",
+    "EngineSpec",
+    "EngineRegistry",
+    "default_registry",
+]

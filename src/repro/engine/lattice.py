@@ -1,0 +1,134 @@
+"""Pipeline engine: level-synchronous slab decomposition of the BEG
+backward induction.
+
+At level ``t`` the value tensor has ``(t+1)^d`` nodes. Its leading axis is
+block-partitioned into (at most) P contiguous slabs; each rank updates its
+slab with :meth:`BEGLattice.step_rows`, which needs exactly one halo plane
+(``(t+2)^{d−1}`` values) from the next rank — the corner-stencil offsets
+along the sliced axis are only 0 or 1. One halo exchange per level is the
+entire communication; the level-synchronous structure is also the
+algorithm's weakness: near the root, levels hold fewer rows than ranks, so
+extra ranks idle (charged as idle time), and per-level latency is paid ``n``
+times. That is why lattice speedup saturates (experiments F3/T3) while MC's
+does not — the central comparison of the paper's evaluation.
+
+American exercise adds a per-level intrinsic evaluation on each slab
+(charged as extra work) and a max; values remain bit-identical to the
+sequential sweep, which the integration tests assert for every P.
+
+The public entry point is
+:class:`repro.core.lattice_parallel.ParallelLatticePricer`, a thin config
+adapter over this engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.engine.names import LATTICE
+from repro.engine.pipeline import (
+    Estimate,
+    ExecutionPlan,
+    PipelineContext,
+    PipelineEngine,
+    PricingJob,
+)
+from repro.lattice.beg import BEGLattice
+from repro.parallel.faults import RunReport
+from repro.parallel.partition import block_partition
+from repro.utils.validation import check_positive, check_positive_int
+
+__all__ = ["LatticeEngine"]
+
+
+class LatticeEngine(PipelineEngine):
+    """Inline pipeline engine over a ``ParallelLatticePricer`` config."""
+
+    name = LATTICE
+
+    def plan(self, job: PricingJob) -> ExecutionPlan:
+        check_positive("expiry", job.expiry)
+        p = check_positive_int("p", job.p)
+        lattice = BEGLattice(job.model, job.expiry, self.config.steps)
+        return ExecutionPlan(engine=self.name, job=job, p=p,
+                             scratch={"lattice": lattice})
+
+    def execute(self, plan: ExecutionPlan, ctx: PipelineContext) -> np.ndarray:
+        cfg = self.config
+        cluster = ctx.cluster
+        tracer = ctx.tracer
+        lattice: BEGLattice = plan.scratch["lattice"]
+        model, payoff = plan.job.model, plan.job.payoff
+        p = plan.p
+        d = model.dim
+        n = cfg.steps
+        node_units = cfg.work.lattice_node_units(d)
+        intr_units = cfg.work.intrinsic_node_units(d)
+
+        values = lattice.payoff_values(payoff, n)
+        # Leaf evaluation is parallel over slabs of the terminal tensor.
+        leaf_parts = block_partition(n + 1, min(p, n + 1))
+        plane_leaf = (n + 1) ** (d - 1)
+        for r, (lo, hi) in enumerate(leaf_parts):
+            cluster.compute(r, (hi - lo) * plane_leaf * intr_units)
+        if tracer:
+            tracer.add_span("lattice.leaves", 0.0, cluster.elapsed())
+
+        for t in range(n - 1, -1, -1):
+            level_t0 = cluster.elapsed()
+            rows = t + 1
+            p_eff = min(p, rows)
+            parts = block_partition(rows, p_eff)
+            slabs = []
+            for lo, hi in parts:
+                slab = lattice.step_rows(values[lo : hi + 1], t, lo, hi - lo)
+                slabs.append(slab)
+            new_values = np.concatenate(slabs, axis=0)
+            if cfg.american:
+                intrinsic = lattice.payoff_values(payoff, t)
+                np.maximum(new_values, intrinsic, out=new_values)
+            values = new_values
+
+            # --- simulated cost of this level ---
+            plane = rows ** (d - 1)
+            for r, (lo, hi) in enumerate(parts):
+                work_units = (hi - lo) * plane * node_units
+                if cfg.american:
+                    work_units += (hi - lo) * plane * intr_units
+                cluster.compute(r, work_units)
+            # One halo plane of level t+1 moves across each slab boundary.
+            halo_bytes = ((t + 2) ** (d - 1)) * 8.0
+            halo_t0 = cluster.elapsed()
+            cluster.halo_exchange(halo_bytes)
+            if tracer:
+                tracer.add_span("lattice.halo", halo_t0, cluster.elapsed(),
+                                level=t, nbytes=halo_bytes)
+                tracer.add_span("lattice.level", level_t0, cluster.elapsed(),
+                                level=t, rows=rows)
+        return values
+
+    def reduce(self, plan: ExecutionPlan, state: Any, ctx: PipelineContext,
+               fault_report: Optional[RunReport]) -> Estimate:
+        # Root value lives on rank 0; share it (the paper's codes broadcast
+        # the final price so every node can report).
+        ctx.cluster.bcast(8.0, root=0)
+        price = float(np.asarray(state).reshape(-1)[0])
+        return Estimate(price=price, stderr=0.0)
+
+    def report(self, plan: ExecutionPlan, estimate: Estimate,
+               ctx: PipelineContext,
+               fault_report: Optional[RunReport]) -> Dict[str, Any]:
+        cfg = self.config
+        d = plan.job.model.dim
+        n = cfg.steps
+        nodes = sum((t + 1) ** d for t in range(n + 1))
+        return {
+            "steps": n,
+            "dim": d,
+            "branching": 2 ** d,
+            "nodes": nodes,
+            "american": cfg.american,
+            **({"fault_report": fault_report} if fault_report else {}),
+        }

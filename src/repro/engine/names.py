@@ -1,0 +1,53 @@
+"""Canonical engine names — the single naming authority.
+
+Every place an engine family is spelled out — ``ParallelRunResult.engine``,
+trace span prefixes, serve cache keys, verification-corpus entries, CLI
+``--engine`` choices — uses these constants, so a rename is a one-line
+change and a typo is an import error instead of a silently empty dispatch.
+
+Two groups overlap on purpose: ``MC``/``LATTICE``/``PDE``/``LSM`` name both
+a *parallel* pipeline engine and its *sequential reference* family in the
+verification corpus — same contract semantics, same canonical name.
+"""
+
+from __future__ import annotations
+
+from typing import Final
+
+__all__ = [
+    "MC",
+    "LATTICE",
+    "PDE",
+    "LSM",
+    "GREEKS",
+    "ANALYTIC",
+    "QMC",
+    "MLMC",
+    "PARALLEL_ENGINES",
+    "REFERENCE_FAMILIES",
+]
+
+#: Path-wise domain-decomposed Monte Carlo.
+MC: Final[str] = "mc"
+#: Level-synchronous slab-decomposed BEG lattice.
+LATTICE: Final[str] = "lattice"
+#: Transpose-parallel ADI finite differences.
+PDE: Final[str] = "pde"
+#: Distributed-regression Longstaff–Schwartz (American Monte Carlo).
+LSM: Final[str] = "lsm"
+#: CRN bump-and-revalue hedge parameters over the MC decomposition.
+GREEKS: Final[str] = "mc-greeks"
+#: Closed forms (validation anchors; reference family only).
+ANALYTIC: Final[str] = "analytic"
+#: Randomized Sobol quasi-Monte Carlo (reference family only).
+QMC: Final[str] = "qmc"
+#: Multilevel Monte Carlo (reference family only).
+MLMC: Final[str] = "mlmc"
+
+#: The five pipeline engines that run on the shared parallel runner.
+PARALLEL_ENGINES: Final[tuple[str, ...]] = (MC, LATTICE, PDE, LSM, GREEKS)
+
+#: Engine families the differential oracle can price a corpus case with.
+REFERENCE_FAMILIES: Final[tuple[str, ...]] = (
+    ANALYTIC, MC, QMC, MLMC, LATTICE, PDE, LSM,
+)

@@ -1,0 +1,141 @@
+"""The shared pipeline runner: one place for every cross-cutting concern.
+
+Before this runner existed, each parallel pricer hand-wired the same
+skeleton — wall-clock timing, fault-resilient mapping, simulated-cluster
+construction, tracer plumbing, result assembly — five times over. The
+runner applies them **once**, as a fixed middleware order around the
+engine's stages:
+
+1. ``plan`` / ``partition`` (engine) — validation and work splitting;
+2. **cluster middleware** — one :class:`SimulatedCluster` per run, built
+   with the config's machine spec, fault plan and tracer;
+3. **execution middleware** — mapped engines go through
+   :func:`~repro.parallel.faults.resilient_map` when a non-empty fault
+   plan is configured (plain chunked ``backend.map`` otherwise); inline
+   engines run their loops and then pass through
+   :func:`~repro.parallel.faults.simulate_recovery`. Either way the
+   wall clock is measured by one shared :class:`~repro.perf.timer.Timer`;
+4. ``account`` / ``reduce`` (engine) — simulated cost charging and the
+   reduction, which travels the modeled machine's schedule;
+5. **report middleware** — the runner assembles the
+   :class:`~repro.engine.result.ParallelRunResult` from the cluster
+   report, attaches the recorded cluster when asked, and feeds the
+   optional :class:`~repro.obs.metrics.MetricsRegistry`.
+
+Because the middleware only *wraps* the engine's arithmetic (it never
+reorders it), a pricer ported onto the pipeline produces bitwise-identical
+prices — the property the verification subsystem's golden masters and
+determinism checks gate on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+from repro.engine.pipeline import Estimate, PipelineContext, PipelineEngine, PricingJob
+from repro.engine.result import ParallelRunResult
+from repro.parallel.backends import SerialBackend
+from repro.parallel.faults import FaultPolicy, resilient_map, simulate_recovery
+from repro.parallel.simcluster import SimulatedCluster
+from repro.perf.timer import Timer
+
+__all__ = ["run_pipeline", "run_engine"]
+
+
+def run_pipeline(
+    engine: PipelineEngine,
+    model: Any,
+    payoff: Any,
+    expiry: float,
+    p: int,
+) -> Tuple[ParallelRunResult, Estimate]:
+    """Drive one engine through the five stages; returns (result, estimate).
+
+    Most callers want :func:`run_engine`; adapters that need reduce-stage
+    extras (e.g. the greeks arrays) use this and read ``estimate.extras``.
+    """
+    cfg = engine.config
+    plan = engine.plan(PricingJob(model=model, payoff=payoff,
+                                  expiry=expiry, p=p))
+    tasks = engine.partition(plan)
+
+    faults = getattr(cfg, "faults", None)
+    policy: FaultPolicy = getattr(cfg, "policy", None) or FaultPolicy.parse(None)
+    tracer = getattr(cfg, "tracer", None)
+    record = bool(getattr(cfg, "record", False))
+    cluster = SimulatedCluster(plan.p, cfg.spec, record=record,
+                               faults=faults, tracer=tracer)
+    ctx = PipelineContext(cluster=cluster, tracer=tracer, timer=Timer())
+
+    if tasks is not None:
+        # Mapped engine: fault + chunking middleware around one backend.map.
+        backend = getattr(cfg, "backend", None)
+        if backend is None:
+            backend = SerialBackend()
+        chunksize = getattr(cfg, "chunksize", None)
+        payloads = [task.payload for task in tasks]
+        assert engine.worker is not None, f"{engine.name} engine has no worker"
+        inject = faults is not None and not faults.is_empty
+        with ctx.timer:
+            if inject:
+                state, fault_report = resilient_map(
+                    backend, engine.worker, payloads,
+                    plan=faults, policy=policy, chunksize=chunksize,
+                )
+            else:
+                # Fault-free fast path: identical to the pre-resilience
+                # code (one branch of overhead — asserted by benchmark F13).
+                state = backend.map(engine.worker, payloads,
+                                    chunksize=chunksize)
+                fault_report = None
+        engine.account(plan, ctx, fault_report)
+    else:
+        # Inline engine: the arithmetic is the sequential reference, so
+        # faults stretch the simulated timeline only (recovery is charged
+        # after the compute loops, and rank loss raises).
+        with ctx.timer:
+            state = engine.execute(plan, ctx)
+        fault_report = simulate_recovery(cluster, faults, policy,
+                                         engine=engine.name)
+
+    estimate = engine.reduce(plan, state, ctx, fault_report)
+    rep = cluster.report()
+    meta = engine.report(plan, estimate, ctx, fault_report)
+    if record:
+        meta["cluster"] = cluster
+
+    result = ParallelRunResult(
+        price=estimate.price,
+        stderr=estimate.stderr,
+        p=plan.p,
+        sim_time=rep["elapsed"],
+        wall_time=ctx.timer.elapsed,
+        compute_time=rep["compute_time"],
+        comm_time=rep["comm_time"],
+        idle_time=rep["idle_time"],
+        messages=rep["messages"],
+        bytes_moved=rep["bytes_moved"],
+        engine=engine.name,
+        meta=meta,
+    )
+
+    metrics = getattr(cfg, "metrics", None)
+    if metrics is not None:
+        metrics.counter("engine.runs", engine=engine.name).inc()
+        metrics.histogram("engine.wall_s", engine=engine.name).observe(
+            result.wall_time)
+        metrics.histogram("engine.sim_s", engine=engine.name).observe(
+            result.sim_time)
+    return result, estimate
+
+
+def run_engine(
+    engine: PipelineEngine,
+    model: Any,
+    payoff: Any,
+    expiry: float,
+    p: int,
+) -> ParallelRunResult:
+    """Run the pipeline and return just the :class:`ParallelRunResult`."""
+    result, _ = run_pipeline(engine, model, payoff, expiry, p)
+    return result

@@ -22,6 +22,8 @@ import time
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.engine.names import LATTICE, LSM, MC, PDE
+from repro.engine.registry import default_registry
 from repro.errors import ValidationError
 from repro.serve.cache import stable_key
 from repro.utils.validation import check_non_negative, check_positive_int
@@ -31,9 +33,10 @@ from repro.workloads.generators import Workload
 __all__ = ["SERVE_ENGINES", "PricingRequest", "request_key", "Batch",
            "Batcher"]
 
-#: Engine families the serving layer can route a request to — the four
-#: parallel pricers from :mod:`repro.core`.
-SERVE_ENGINES = ("mc", "lattice", "pde", "lsm")
+#: Engine families the serving layer can route a request to — every
+#: registry entry with a serve hook (the four parallel pricers from
+#: :mod:`repro.core`).
+SERVE_ENGINES = default_registry().names(servable=True)
 
 
 @dataclass(frozen=True)
@@ -56,7 +59,7 @@ class PricingRequest:
     """
 
     workload: Workload
-    engine: str = "mc"
+    engine: str = MC
     n_paths: int = 20_000
     steps: int | None = None
     seed: int = 0
@@ -74,7 +77,7 @@ class PricingRequest:
         check_positive_int("grid", self.grid)
         if self.steps is not None:
             check_positive_int("steps", self.steps)
-        if self.engine in ("lattice", "lsm") and self.steps is None:
+        if self.engine in (LATTICE, LSM) and self.steps is None:
             raise ValidationError(
                 f"the {self.engine} engine needs steps=<backward steps>"
             )
@@ -86,12 +89,12 @@ class PricingRequest:
         e.g. the seed of a (seedless) lattice request cannot split the
         cache entry.
         """
-        if self.engine == "mc":
+        if self.engine == MC:
             return {"n_paths": self.n_paths, "steps": self.steps,
                     "seed": self.seed, "p": self.p}
-        if self.engine == "lattice":
+        if self.engine == LATTICE:
             return {"steps": self.steps, "p": self.p}
-        if self.engine == "pde":
+        if self.engine == PDE:
             return {"grid": self.grid, "steps": self.steps, "p": self.p}
         return {"n_paths": self.n_paths, "steps": self.steps,
                 "seed": self.seed, "p": self.p}

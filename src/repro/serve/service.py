@@ -66,34 +66,20 @@ class PriceQuote:
 def price_request(request: PricingRequest) -> PriceQuote:
     """Module-level batch worker: price one request with its engine family.
 
-    Picklable (the process backend ships it through the pool), and imports
-    the pricers lazily so the serve package never creates an import cycle
-    with :mod:`repro.core`.
+    Picklable (the process backend ships it through the pool). The engine
+    is resolved by canonical name through the
+    :class:`~repro.engine.registry.EngineRegistry`, whose serve hooks
+    import the pricers lazily — the serve package never creates an import
+    cycle with :mod:`repro.core`.
     """
+    from repro.engine.registry import default_registry
+
     w = request.workload
-    if request.engine == "mc":
-        from repro.core.mc_parallel import ParallelMCPricer
-
-        res = ParallelMCPricer(request.n_paths, seed=request.seed,
-                               steps=request.steps).price(
-            w.model, w.payoff, w.expiry, request.p)
-    elif request.engine == "lattice":
-        from repro.core.lattice_parallel import ParallelLatticePricer
-
-        res = ParallelLatticePricer(request.steps).price(
-            w.model, w.payoff, w.expiry, request.p)
-    elif request.engine == "pde":
-        from repro.core.pde_parallel import ParallelPDEPricer
-
-        n_time = max((request.steps or request.grid // 2), 4)
-        res = ParallelPDEPricer(n_space=request.grid, n_time=n_time).price(
-            w.model, w.payoff, w.expiry, request.p)
-    else:  # lsm — validated by PricingRequest
-        from repro.core.lsm_parallel import ParallelLSMPricer
-
-        res = ParallelLSMPricer(request.n_paths, request.steps,
-                                seed=request.seed).price(
-            w.model, w.payoff, w.expiry, request.p)
+    spec = default_registry().get(request.engine)
+    if spec.serve is None:  # unreachable via PricingRequest validation
+        raise ValidationError(f"engine {request.engine!r} is not servable")
+    pricer = spec.serve(request)
+    res = pricer.price(w.model, w.payoff, w.expiry, request.p)
     return PriceQuote(engine=request.engine, price=res.price,
                       stderr=res.stderr, sim_time=res.sim_time)
 

@@ -23,6 +23,7 @@ from typing import Mapping
 
 import numpy as np
 
+from repro.engine.registry import default_registry
 from repro.errors import ValidationError
 from repro.market.gbm import MultiAssetGBM
 from repro.payoffs.asian import AsianGeometricCall
@@ -40,8 +41,9 @@ __all__ = [
     "config_hash",
 ]
 
-#: Engine-family keys understood by the oracle adapters.
-ENGINE_FAMILIES = ("analytic", "mc", "qmc", "mlmc", "lattice", "pde", "lsm")
+#: Engine-family keys understood by the oracle adapters — every registry
+#: entry with an oracle hook, in registration order.
+ENGINE_FAMILIES = default_registry().names(reference=True)
 
 
 @dataclass(frozen=True)

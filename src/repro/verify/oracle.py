@@ -29,6 +29,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.engine import names
+from repro.engine.registry import default_registry
 from repro.errors import ValidationError
 from repro.verify.contracts import VerifyCase, config_hash, default_corpus
 
@@ -36,6 +38,7 @@ __all__ = [
     "EngineCell",
     "Discrepancy",
     "OracleReport",
+    "ORACLE_ADAPTERS",
     "run_case",
     "run_oracle",
     "MC_Z",
@@ -159,7 +162,7 @@ def _analytic_value(case: VerifyCase, params: dict) -> float:
 def _run_analytic(case: VerifyCase, params: dict) -> EngineCell:
     price = _analytic_value(case, params)
     band = max(abs(price) * ANALYTIC_RTOL, 1e-9)
-    return EngineCell("analytic", price, band,
+    return EngineCell(names.ANALYTIC, price, band,
                       {"kind": params.get("kind", "")})
 
 
@@ -170,7 +173,7 @@ def _run_mc(case: VerifyCase, params: dict) -> EngineCell:
     engine = MonteCarloEngine(params["n_paths"], steps=params.get("steps"),
                               seed=params.get("seed", 0))
     r = engine.price(w.model, w.payoff, w.expiry)
-    return EngineCell("mc", float(r.price), MC_Z * float(r.stderr),
+    return EngineCell(names.MC, float(r.price), MC_Z * float(r.stderr),
                       {"stderr": float(r.stderr), "n_paths": r.n_paths,
                        "z": MC_Z})
 
@@ -184,7 +187,7 @@ def _run_qmc(case: VerifyCase, params: dict) -> EngineCell:
     engine = MonteCarloEngine(params["n_paths"], technique=technique,
                               steps=params.get("steps"))
     r = engine.price(w.model, w.payoff, w.expiry)
-    return EngineCell("qmc", float(r.price), MC_Z * float(r.stderr),
+    return EngineCell(names.QMC, float(r.price), MC_Z * float(r.stderr),
                       {"stderr": float(r.stderr), "n_paths": r.n_paths,
                        "replicates": reps, "z": MC_Z})
 
@@ -194,7 +197,7 @@ def _run_mlmc(case: VerifyCase, params: dict) -> EngineCell:
 
     w = case.workload
     r = mlmc_price(w.model, w.payoff, w.expiry, **params)
-    return EngineCell("mlmc", float(r.price), MC_Z * float(r.stderr),
+    return EngineCell(names.MLMC, float(r.price), MC_Z * float(r.stderr),
                       {"stderr": float(r.stderr), "levels": r.levels,
                        "n_per_level": list(r.n_per_level), "z": MC_Z})
 
@@ -233,7 +236,7 @@ def _run_lattice(case: VerifyCase, params: dict) -> EngineCell:
     osc = 0.5 * abs(pair_fine[1] - pair_fine[0])
     trend = abs(price - 0.5 * (pair_coarse[0] + pair_coarse[1]))
     band = max(DISCRETIZATION_SAFETY * (osc + trend), 1e-7)
-    return EngineCell("lattice", float(price), float(band),
+    return EngineCell(names.LATTICE, float(price), float(band),
                       {"steps": steps, "pair": [float(v) for v in pair_fine],
                        "oscillation": float(osc), "trend": float(trend)})
 
@@ -272,7 +275,7 @@ def _run_pde(case: VerifyCase, params: dict) -> EngineCell:
     dt_diff = abs(run(n_space, n_time // 2).price - fine)
     dx_diff = abs(run(n_space // 2, n_time).price - fine)
     band = max(DISCRETIZATION_SAFETY * (dt_diff + dx_diff), 1e-7)
-    return EngineCell("pde", float(fine), float(band),
+    return EngineCell(names.PDE, float(fine), float(band),
                       {"n_space": n_space, "n_time": n_time,
                        "dt_diff": float(dt_diff), "dx_diff": float(dx_diff)})
 
@@ -285,20 +288,22 @@ def _run_lsm(case: VerifyCase, params: dict) -> EngineCell:
                   params["n_paths"], degree=params.get("degree", 2),
                   seed=params.get("seed", 0))
     band = MC_Z * float(r.stderr) + LSM_BIAS_FRACTION * abs(float(r.price))
-    return EngineCell("lsm", float(r.price), band,
+    return EngineCell(names.LSM, float(r.price), band,
                       {"stderr": float(r.stderr), "n_paths": r.n_paths,
                        "steps": params["steps"], "z": MC_Z,
                        "bias_fraction": LSM_BIAS_FRACTION})
 
 
-_ADAPTERS = {
-    "analytic": _run_analytic,
-    "mc": _run_mc,
-    "qmc": _run_qmc,
-    "mlmc": _run_mlmc,
-    "lattice": _run_lattice,
-    "pde": _run_pde,
-    "lsm": _run_lsm,
+#: Family name → corpus adapter. The registry's oracle hooks dispatch into
+#: this table; keys are the canonical :mod:`repro.engine.names` constants.
+ORACLE_ADAPTERS = {
+    names.ANALYTIC: _run_analytic,
+    names.MC: _run_mc,
+    names.QMC: _run_qmc,
+    names.MLMC: _run_mlmc,
+    names.LATTICE: _run_lattice,
+    names.PDE: _run_pde,
+    names.LSM: _run_lsm,
 }
 
 
@@ -312,11 +317,18 @@ def run_case(case: VerifyCase, *, engines=None) -> dict:
     ``engines`` optionally restricts to a subset of family names. Returns
     ``{family: EngineCell}``.
     """
+    registry = default_registry()
     out: dict[str, EngineCell] = {}
     for family, params in case.engines.items():
         if engines is not None and family not in engines:
             continue
-        out[family] = _ADAPTERS[family](case, dict(params))
+        spec = registry.get(family)
+        if spec.oracle is None:
+            raise ValidationError(
+                f"engine {family!r} has no oracle adapter; reference "
+                f"families: {registry.names(reference=True)}"
+            )
+        out[family] = spec.oracle(case, dict(params))
     return out
 
 

@@ -63,14 +63,16 @@ class TestEstimatorInvariance:
         pricer = ParallelMCPricer(N, seed=11, scheme=scheme)
         if scheme == "leapfrog":
             # leapfrog requires Lcg64: patch tasks through a master override
-            import repro.core.mc_parallel as mcp
+            # (task building lives in the pipeline engine since the
+            # repro.engine refactor)
+            import repro.engine.mc as mce
 
-            orig = mcp.Philox4x32
-            mcp.Philox4x32 = lambda seed, stream=0: Lcg64(seed)
+            orig = mce.Philox4x32
+            mce.Philox4x32 = lambda seed, stream=0: Lcg64(seed)
             try:
                 r = pricer.price(model_1d, Call(100.0), 1.0, 4)
             finally:
-                mcp.Philox4x32 = orig
+                mce.Philox4x32 = orig
         else:
             r = pricer.price(model_1d, Call(100.0), 1.0, 4)
         exact = bs_price(100, 100, 0.2, 0.05, 1.0)
