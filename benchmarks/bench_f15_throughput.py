@@ -18,10 +18,18 @@ Three measurements on the serve layer:
   risk job) on a 4-worker process backend: per-task pickling of the
   matrix vs one shared-memory segment + chunked dispatch. The claim
   gated here: **≥ 1.3× speedup** for the chunked shared-memory transport.
+* **F15d — contracts/sec, fused strips vs singles.** A 1 000-contract
+  vanilla strike strip on one shared model, priced through
+  ``PricingService(batched=True)`` (one fused strip: shared path
+  generation, per-contract payoffs) vs the single-request path. Gated
+  claims: **≥ 5× contracts/sec** for the batched path, and every batched
+  quote **bitwise equal** (price and stderr) to its single-run quote.
 
-``--smoke`` runs a scaled-down version of all three and exits nonzero if
-the F15c speedup gate or the F15b zero-map-call invariant fails — the CI
-throughput lane runs exactly that.
+``--smoke`` runs a scaled-down version of all four and exits nonzero if
+the F15c/F15d speedup gates, the F15d bitwise invariant or the F15b
+zero-map-call invariant fails — the CI throughput lane runs exactly that
+(F15d keeps the full 1 000-contract strip even in smoke; the gate is the
+acceptance criterion).
 """
 
 from __future__ import annotations
@@ -36,9 +44,11 @@ from repro.payoffs import BasketCall
 from repro.serve import (PriceCache, PricingRequest, PricingService,
                          revalue_scenarios)
 from repro.utils import Table
-from repro.workloads import random_portfolio
+from repro.verify.determinism import float_bits
+from repro.workloads import random_portfolio, strike_strip
 
 SPEEDUP_GATE = 1.3
+STRIP_GATE = 5.0
 REPEATS = 3
 
 
@@ -165,6 +175,57 @@ def build_f15c_transport(n_payoffs: int = 64, n_scenarios: int = 131_072,
 
 
 # ---------------------------------------------------------------------------
+# F15d — fused contract strips vs the single-request path
+# ---------------------------------------------------------------------------
+
+def build_f15d_strip(n_contracts: int = 1_000, paths: int = 50_000,
+                     repeats: int = REPEATS) -> tuple[Table, float]:
+    """The batched-pricing gate: ≥ 5× contracts/sec on a vanilla strip.
+
+    One shared model, ``n_contracts`` strikes, one seed — the whole miss
+    set fuses into a single :class:`~repro.batch.strip.ContractStrip`, so
+    path generation (and the engine/cluster setup around it) is paid once
+    instead of per contract. The quotes must nevertheless be bitwise
+    identical to the single path: the speedup is amortization, not a
+    numerical shortcut.
+    """
+    book = strike_strip(n_contracts)
+    requests = [PricingRequest(w, engine="mc", n_paths=paths, seed=0, p=2,
+                               name=w.name)
+                for w in book]
+
+    def run(batched: bool):
+        best = float("inf")
+        quotes = None
+        for _ in range(repeats):
+            with PricingService(cache=None, max_batch=len(requests),
+                                batched=batched) as svc:
+                t0 = time.perf_counter()
+                quotes = svc.price_many(requests)
+                best = min(best, time.perf_counter() - t0)
+        return best, quotes
+
+    t_single, q_single = run(False)
+    t_batched, q_batched = run(True)
+    mismatched = sum(
+        1 for a, b in zip(q_single, q_batched)
+        if float_bits(a.price) != float_bits(b.price)
+        or float_bits(a.stderr) != float_bits(b.stderr))
+    assert mismatched == 0, (
+        f"{mismatched}/{len(q_single)} batched quotes differ from the "
+        f"single path — fusion changed the numbers")
+    speedup = t_single / t_batched
+    table = Table(["path", "best wall (s)", "contracts/s", "speedup"],
+                  title=f"F15d — {n_contracts}-strike strip (mc, N={paths}), "
+                        f"fused vs single (best of {repeats})",
+                  floatfmt=".4g")
+    table.add_row(["single requests", t_single, n_contracts / t_single, 1.0])
+    table.add_row(["fused strip", t_batched, n_contracts / t_batched,
+                   speedup])
+    return table, speedup
+
+
+# ---------------------------------------------------------------------------
 # pytest-benchmark entry points (same harness as F13/F14)
 # ---------------------------------------------------------------------------
 
@@ -181,19 +242,33 @@ def test_f15_throughput(benchmark, show):
     assert hot_maps == 0, "100% cache-hit replay touched the backend"
 
 
+def test_f15d_strip(show):
+    # Small-scale lane version: the bitwise assert inside the builder is
+    # the hard invariant; the wall-clock gate here is a conservative floor
+    # (the full 5x gate runs on the 1k strip in the __main__ smoke job).
+    table, speedup = build_f15d_strip(n_contracts=200, paths=2_000,
+                                      repeats=1)
+    show(table.render())
+    assert speedup >= 2.0, (
+        f"fused strip only {speedup:.2f}x over singles (floor 2x)")
+
+
 if __name__ == "__main__":
     smoke = "--smoke" in sys.argv[1:]
     if smoke:
         # CI scale: smaller request stream; F15c keeps the full-size matrix
-        # (a smaller one compresses the pickle/shm ratio toward noise).
+        # (a smaller one compresses the pickle/shm ratio toward noise) and
+        # F15d keeps the full 1k-contract strip (the acceptance gate).
         a = build_f15a_throughput(n_requests=16, paths=2_000, p_list=(1, 2))
         b, hot_maps = build_f15b_cache(n_requests=24, paths=2_000)
         c, speedup = build_f15c_transport(repeats=2)
+        d, strip_speedup = build_f15d_strip(repeats=2)
     else:
         a = build_f15a_throughput()
         b, hot_maps = build_f15b_cache()
         c, speedup = build_f15c_transport()
-    for table in (a, b, c):
+        d, strip_speedup = build_f15d_strip()
+    for table in (a, b, c, d):
         print(table.render())
         print()
     failed = False
@@ -205,7 +280,12 @@ if __name__ == "__main__":
         print(f"FAIL: shm+chunked speedup {speedup:.2f}x < "
               f"{SPEEDUP_GATE}x gate", file=sys.stderr)
         failed = True
+    if strip_speedup < STRIP_GATE:
+        print(f"FAIL: fused-strip speedup {strip_speedup:.2f}x < "
+              f"{STRIP_GATE}x gate", file=sys.stderr)
+        failed = True
     if failed:
         raise SystemExit(1)
     print(f"OK: hot replay hit zero map calls; shm+chunked {speedup:.2f}x "
-          f">= {SPEEDUP_GATE}x")
+          f">= {SPEEDUP_GATE}x; fused strip {strip_speedup:.2f}x >= "
+          f"{STRIP_GATE}x")

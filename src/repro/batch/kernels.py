@@ -1,0 +1,293 @@
+"""Fused strip kernels: shared draws, per-contract arithmetic, bitwise prices.
+
+Every kernel here obeys one invariant: for each contract in the strip it
+performs *exactly* the floating-point operations, in exactly the order,
+of that contract's single run — only the **inputs** those operations read
+(the normal block, the terminal-price matrix, the lattice mesh) are
+computed once and shared. Sharing an identical input array is invisible
+to IEEE-754 arithmetic, so every strip price is bitwise equal to its
+single-run price; the strip-equivalence tests assert the bits, not a
+tolerance.
+
+What is shared per strip:
+
+* the Gaussian block ``z`` (one Philox/Sobol draw instead of C) and with
+  it the model's correlation Cholesky, applied once inside
+  ``terminal_from_normals`` / ``paths_from_normals``;
+* the terminal-price matrix or path tensor those normals map to;
+* for the lattice, the per-level price mesh the payoffs and intrinsic
+  values are evaluated on.
+
+What is never shared: anything downstream of a payoff — each contract's
+discounted values, sufficient statistics, reduction and finalize run
+independently, matching the single-run code path operation for
+operation. Techniques without a fused form (control variates, stratified,
+user subclasses) fall back to per-contract runs on identically-seeded
+generator copies — slower, still bitwise.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.lattice.beg import BEGLattice
+from repro.mc.qmc import QMCSobol
+from repro.mc.statistics import SampleStats
+from repro.mc.variance_reduction import Antithetic, PlainMC, _draw_normals
+from repro.utils.validation import check_positive, check_positive_int
+
+__all__ = [
+    "strip_partial",
+    "strip_estimate",
+    "beg_strip_prices",
+    "price_strip",
+    "price_task",
+]
+
+
+def _check_homogeneous(payoffs: Sequence[Any]) -> bool:
+    """Validate the strip's shared draw shape; returns path dependence."""
+    if not payoffs:
+        raise ValidationError("a strip kernel needs at least one payoff")
+    flags = {bool(p.is_path_dependent) for p in payoffs}
+    if len(flags) > 1:
+        raise ValidationError(
+            "strip payoffs must be homogeneous in path dependence; mixing "
+            "terminal and path-dependent contracts changes the shared draws"
+        )
+    return flags.pop()
+
+
+def _shared_values(model: Any, payoffs: Sequence[Any], expiry: float,
+                   z: np.ndarray, steps: Optional[int]) -> List[np.ndarray]:
+    """Per-contract discounted payoff samples from one shared normal block.
+
+    Mirrors ``repro.mc.variance_reduction._discounted_payoffs`` with the
+    model transform hoisted out of the per-payoff loop: the price matrix /
+    path tensor is identical to what each single run computes from the
+    same ``z``, so each contract's samples match its single run bitwise.
+    """
+    df = float(np.exp(-model.rate * expiry))
+    if payoffs[0].is_path_dependent:
+        if steps is None:
+            raise ValidationError(
+                f"{type(payoffs[0]).__name__} is path-dependent: pass steps= "
+                f"to the engine"
+            )
+        paths = model.paths_from_normals(z, expiry, steps)
+        return [df * p.path(paths) for p in payoffs]
+    prices = model.terminal_from_normals(z, expiry)
+    return [df * p.terminal(prices) for p in payoffs]
+
+
+def strip_partial(technique: Any, model: Any, payoffs: Sequence[Any],
+                  expiry: float, n: int, gen: Any, *,
+                  steps: Optional[int] = None,
+                  skip: Optional[int] = None) -> List[Any]:
+    """One rank's fused partials: element j matches ``technique.partial``
+    for payoff j on an identically-seeded generator, bitwise.
+
+    ``skip`` is the QMC point offset (``None`` for stream techniques,
+    matching the single-run task tuples). The shared master ``gen`` ends
+    in the same state a single run's generator would — the fused draw
+    consumes the same block — so batched estimate loops stay aligned.
+    """
+    payoffs = tuple(payoffs)
+    path_dep = _check_homogeneous(payoffs)
+
+    kind = type(technique)
+    if kind is PlainMC:
+        z = _draw_normals(model, gen, n, steps, path_dep)
+        return [SampleStats.from_values(y)
+                for y in _shared_values(model, payoffs, expiry, z, steps)]
+
+    if kind is Antithetic:
+        if n % 2:
+            raise ValidationError(
+                "antithetic sampling requires an even path count"
+            )
+        half = n // 2
+        z = _draw_normals(model, gen, half, steps, path_dep)
+        ys_plus = _shared_values(model, payoffs, expiry, z, steps)
+        ys_minus = _shared_values(model, payoffs, expiry, -z, steps)
+        return [SampleStats.from_values(0.5 * (yp + ym))
+                for yp, ym in zip(ys_plus, ys_minus)]
+
+    if kind is QMCSobol:
+        r_count = technique.replicates
+        if n % r_count:
+            raise ValidationError(
+                f"path count {n} must be a multiple of replicates={r_count}"
+            )
+        per = n // r_count
+        offset = 0 if skip is None else int(skip)
+        parts: List[List[SampleStats]] = [[] for _ in payoffs]
+        for r in range(r_count):
+            # One Sobol block per replicate for the whole strip; the
+            # exemplar payoff only sets the dimension plan, which the
+            # homogeneity check makes strip-wide.
+            z = technique._normals_for(model, payoffs[0], steps, per, r,
+                                       offset)
+            for j, y in enumerate(
+                    _shared_values(model, payoffs, expiry, z, steps)):
+                parts[j].append(SampleStats.from_values(y))
+        return [tuple(p) for p in parts]
+
+    # Generic fallback: no fused form for this technique (control
+    # variates, stratified, subclasses). Contract 0 runs on the master
+    # generator (advancing it exactly as a single run would); the rest run
+    # on copies of its pre-call state, i.e. on the identically-seeded
+    # fresh substream each single run receives.
+    pre = copy.deepcopy(gen)
+    out: List[Any] = []
+    for j, payoff in enumerate(payoffs):
+        g = gen if j == 0 else copy.deepcopy(pre)
+        if skip is None:
+            out.append(technique.partial(model, payoff, expiry, n, g,
+                                         steps=steps))
+        else:
+            out.append(technique.partial(model, payoff, expiry, n, g,
+                                         steps=steps, skip=skip))
+    return out
+
+
+def strip_estimate(technique: Any, model: Any, payoffs: Sequence[Any],
+                   expiry: float, n: int, gen: Any, *,
+                   steps: Optional[int] = None,
+                   batch_size: int = 1 << 18) -> List[Tuple[float, float, int]]:
+    """Sequential fused estimate: element j matches ``technique.estimate``
+    for payoff j — same batching loop, same skip bookkeeping, bitwise.
+
+    This is the kernel the batched golden-master replay runs: it must
+    mirror :meth:`repro.mc.variance_reduction.Technique.estimate` (and the
+    QMC override's per-replicate offsets) exactly, or the corpus digests
+    would flag the batched path as a silent rebaseline.
+    """
+    payoffs = tuple(payoffs)
+    check_positive_int("n", n)
+    check_positive("expiry", expiry)
+    parts: List[List[Any]] = [[] for _ in payoffs]
+
+    if type(technique) is QMCSobol:
+        r_count = technique.replicates
+        if n % r_count:
+            raise ValidationError(
+                f"n={n} must be a multiple of replicates={r_count}"
+            )
+        per_total = n // r_count
+        done = 0
+        per_batch = max(batch_size // r_count, 1)
+        while done < per_total:
+            b = min(per_batch, per_total - done)
+            fused = strip_partial(technique, model, payoffs, expiry,
+                                  b * r_count, gen, steps=steps, skip=done)
+            for j, part in enumerate(fused):
+                parts[j].append(part)
+            done += b
+    else:
+        done = 0
+        while done < n:
+            b = min(batch_size, n - done)
+            fused = strip_partial(technique, model, payoffs, expiry, b, gen,
+                                  steps=steps)
+            for j, part in enumerate(fused):
+                parts[j].append(part)
+            done += b
+
+    return [technique.finalize(technique.combine(p)) for p in parts]
+
+
+def beg_strip_prices(model: Any, payoffs: Sequence[Any], expiry: float,
+                     steps: int, *, american: bool = False) -> List[float]:
+    """Fused BEG backward induction: one lattice, one mesh per level,
+    C value tensors; element j matches ``beg_price(...).price`` bitwise.
+
+    The lattice geometry (axes, branch probabilities, discount) and each
+    level's price mesh are built once; every contract's induction then
+    performs the single-run :meth:`BEGLattice.step` arithmetic on its own
+    tensor, so sharing the mesh changes nothing downstream of it.
+    """
+    payoffs = tuple(payoffs)
+    if not payoffs:
+        raise ValidationError("a strip kernel needs at least one payoff")
+    lattice = BEGLattice(model, expiry, steps)
+    d = lattice.dim
+    for j, payoff in enumerate(payoffs):
+        if payoff.dim != d:
+            raise ValidationError(
+                f"strip payoff {j} dim {payoff.dim} does not match model "
+                f"dim {d}"
+            )
+        if payoff.is_path_dependent:
+            raise ValidationError(
+                "BEG lattice prices non-path-dependent payoffs only"
+            )
+
+    pts = lattice.level_prices(steps).reshape(-1, d)
+    shape = (steps + 1,) * d
+    values = [p.terminal(pts).reshape(shape) for p in payoffs]
+    for t in range(steps - 1, -1, -1):
+        if american:
+            pts_t = lattice.level_prices(t).reshape(-1, d)
+            shape_t = (t + 1,) * d
+        for j, payoff in enumerate(payoffs):
+            v = lattice.step(values[j], t)
+            if american:
+                v = np.maximum(v, payoff.terminal(pts_t).reshape(shape_t))
+            values[j] = v
+    return [float(v.reshape(-1)[0]) for v in values]
+
+
+# ---------------------------------------------------------------------------
+# Serving-layer entry points (lazy imports: these run inside backend
+# workers, and repro.serve imports repro.batch lazily in the other
+# direction).
+# ---------------------------------------------------------------------------
+
+
+def price_strip(strip: Any) -> List[Any]:
+    """Price one :class:`~repro.batch.strip.ContractStrip` through the
+    fused engine run; returns one ``PriceQuote`` per member, in order.
+
+    Builds the engine from the exemplar request exactly as the single-path
+    worker would (the registry serve hook reads only the settings every
+    member shares), then drives the strip stages via
+    :func:`repro.engine.runner.run_strip`. Price and stderr match each
+    member's single-request quote bitwise; ``sim_time`` describes the
+    fused run and is shared by all members.
+    """
+    from repro.engine.registry import default_registry
+    from repro.engine.runner import run_strip
+    from repro.serve.service import PriceQuote
+
+    spec = default_registry().get(strip.engine)
+    if spec.serve is None or spec.pipeline is None:
+        raise ValidationError(
+            f"engine {strip.engine!r} cannot price strips (no serve or "
+            f"pipeline hook)"
+        )
+    pricer = spec.serve(strip.exemplar_request())
+    engine = spec.pipeline()(pricer)
+    results = run_strip(engine, strip.model, list(strip.payoffs),
+                        strip.expiry, strip.p)
+    return [PriceQuote(engine=strip.engine, price=r.price, stderr=r.stderr,
+                       sim_time=r.sim_time) for r in results]
+
+
+def price_task(task: Any) -> Any:
+    """Polymorphic batch worker: a strip prices fused, a request single.
+
+    Module-level and picklable, so the pricing service keeps exactly one
+    ``backend.map`` call per batch whether or not strips formed.
+    """
+    from repro.batch.strip import ContractStrip
+
+    if isinstance(task, ContractStrip):
+        return price_strip(task)
+    from repro.serve.service import price_request
+
+    return price_request(task)

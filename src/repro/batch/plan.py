@@ -1,0 +1,82 @@
+"""Batch planning: cache-missed requests → strips + leftover singles.
+
+:func:`plan_batches` is the grouping stage between the pricing service's
+cache dedup and its one ``backend.map``: requests whose engine family is
+*batchable* (per the registry's capability flag) are grouped by
+:func:`~repro.batch.strip.batch_key`, groups that reach ``min_strip``
+members become :class:`~repro.batch.strip.ContractStrip`\\ s, and
+everything else — non-batchable families, undersized groups — stays a
+single request. Ordering is deterministic: strips appear in first-seen
+key order with members in submission order, then singles (non-batchable
+in submission order, undersized groups after them in first-seen order),
+so the plan (and therefore the map's task list) is a pure function of the
+request sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.batch.strip import ContractStrip, batch_key
+from repro.engine.registry import default_registry
+from repro.errors import ValidationError
+from repro.serve.batching import PricingRequest
+from repro.utils.validation import check_positive_int
+
+__all__ = ["BatchPlan", "plan_batches"]
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """The grouping decision for one batch of cache misses."""
+
+    strips: Tuple[ContractStrip, ...]
+    singles: Tuple[PricingRequest, ...]
+
+    @property
+    def fused_contracts(self) -> int:
+        """How many requests ride in strips (the amortized share)."""
+        return sum(len(s) for s in self.strips)
+
+    def tasks(self) -> List[object]:
+        """The backend-map task list: strips first, then singles."""
+        return list(self.strips) + list(self.singles)
+
+
+def plan_batches(requests: Iterable[PricingRequest], *,
+                 min_strip: int = 2) -> BatchPlan:
+    """Group a request sequence into fused strips and leftover singles.
+
+    ``min_strip`` is the smallest group worth fusing — a strip of one has
+    no sharing to amortize, so undersized groups go back to the single
+    path (which is also the bitwise-identical fallback for everything a
+    fused kernel does not cover).
+    """
+    check_positive_int("min_strip", min_strip)
+    batchable = set(default_registry().names(batchable=True, servable=True))
+    groups: Dict[str, List[PricingRequest]] = {}
+    singles: List[PricingRequest] = []
+    order: List[str] = []
+    for request in requests:
+        if not isinstance(request, PricingRequest):
+            raise ValidationError(
+                f"expected PricingRequest items, got {type(request).__name__}"
+            )
+        if request.engine not in batchable:
+            singles.append(request)
+            continue
+        key = batch_key(request)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(request)
+
+    strips: List[ContractStrip] = []
+    for key in order:
+        members = groups[key]
+        if len(members) >= min_strip:
+            strips.append(ContractStrip.from_requests(members))
+        else:
+            singles.extend(members)
+    return BatchPlan(strips=tuple(strips), singles=tuple(singles))

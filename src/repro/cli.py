@@ -138,6 +138,12 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=("oracle", "metamorphic", "golden",
                                    "determinism"),
                           help="skip one section (repeatable)")
+    p_verify.add_argument("--batched", action=argparse.BooleanOptionalAction,
+                          default=True,
+                          help="also replay batchable corpus cells through "
+                               "the fused strip kernels and run the "
+                               "strip-batching determinism check "
+                               "(--no-batched restores pre-strip timings)")
 
     p_book = sub.add_parser("portfolio", help="schedule a random book and "
                                               "compare policies")
@@ -172,6 +178,18 @@ def build_parser() -> argparse.ArgumentParser:
                          help="replay the stream this many times "
                               "(pass 2+ shows the cache-hit fast path)")
     p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--batched", action="store_true",
+                         help="fuse cache-missed requests into contract "
+                              "strips (shared path generation; quotes stay "
+                              "bitwise equal to the single path)")
+    p_serve.add_argument("--min-strip", type=int, default=2,
+                         help="smallest miss group worth fusing "
+                              "(--batched only)")
+    p_serve.add_argument("--book", choices=("portfolio", "strip"),
+                         default="portfolio",
+                         help="request book shape: a random portfolio "
+                              "(heterogeneous models) or a strike strip on "
+                              "one shared model (the batchable shape)")
     return parser
 
 
@@ -378,8 +396,28 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                 print(f"  FAIL {d}")
             ok &= diff.ok
 
+    if args.batched:
+        from repro.verify import run_batched_replay
+
+        # Reuse the oracle's cells as the bitwise targets when it ran;
+        # otherwise the replay recomputes the reference prices itself.
+        cells = oracle.cells if oracle is not None else None
+        replays = run_batched_replay(corpus, cells_by_case=cells)
+        report_doc["batched"] = [
+            {"case": r.case, "engine": r.engine, "ok": r.ok,
+             "skipped": r.skipped, "detail": dict(r.detail)}
+            for r in replays
+        ]
+        bad = [r for r in replays if not r.ok]
+        n_skip = sum(1 for r in replays if r.skipped)
+        print(f"batched      : {len(replays)} fused-cell replays "
+              f"({n_skip} skipped), {len(bad)} mismatched")
+        for r in bad:
+            print(f"  FAIL {r}")
+        ok &= not bad
+
     if "determinism" not in skip:
-        checks = run_determinism()
+        checks = run_determinism(batched=args.batched)
         report_doc["determinism"] = [c.to_dict() for c in checks]
         bad = [c for c in checks if not c.ok]
         print(f"determinism  : {len(checks)} checks, {len(bad)} "
@@ -429,7 +467,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.parallel.backends import make_backend
     from repro.serve import PriceCache, PricingRequest, PricingService
     from repro.utils import Table
-    from repro.workloads import random_portfolio
+    from repro.workloads import random_portfolio, strike_strip
 
     if args.chunksize == "auto":
         chunksize: int | str | None = "auto"
@@ -443,12 +481,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                   f"got {args.chunksize!r}", file=sys.stderr)
             return 2
 
-    book = random_portfolio(args.contracts, dim=4, seed=args.seed)
+    if args.book == "strip":
+        # One shared model and one shared seed: the whole miss set groups
+        # into a single contract strip under --batched.
+        book = strike_strip(args.contracts)
+        seed_of = lambda i: args.seed  # noqa: E731
+    else:
+        book = random_portfolio(args.contracts, dim=4, seed=args.seed)
+        seed_of = lambda i: args.seed + i % len(book)  # noqa: E731
     # Stream longer than the book → repeated contracts are true duplicates
     # (same seed), so the cache and in-batch dedup both get exercised.
     requests = [
         PricingRequest(book[i % len(book)], engine="mc", n_paths=args.paths,
-                       seed=args.seed + i % len(book), p=2,
+                       seed=seed_of(i), p=2,
                        name=book[i % len(book)].name)
         for i in range(args.requests)
     ]
@@ -458,13 +503,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     backend = make_backend(args.backend, args.workers)
     table = Table(["pass", "req/s", "batches", "map calls", "hit rate",
                    "book value"],
-                  title=(f"{args.requests} requests ({args.contracts} distinct) "
-                         f"— {args.backend} backend, batch={args.batch}, "
-                         f"chunksize={args.chunksize}"),
+                  title=(f"{args.requests} requests ({args.contracts} distinct "
+                         f"{args.book}) — {args.backend} backend, "
+                         f"batch={args.batch}, chunksize={args.chunksize}"
+                         + (", batched strips" if args.batched else "")),
                   floatfmt=".4g")
     try:
         with PricingService(backend, cache=cache, max_batch=args.batch,
-                            chunksize=chunksize, metrics=metrics) as svc:
+                            chunksize=chunksize, metrics=metrics,
+                            batched=args.batched,
+                            min_strip=args.min_strip) as svc:
             batches0 = maps0 = hits0 = lookups0 = 0
             for rep in range(max(args.repeat, 1)):
                 t0 = time.perf_counter()
@@ -486,6 +534,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     dedup = metrics.counter("serve.deduped").value
     if dedup:
         print(f"dedup    : {dedup:.0f} in-batch duplicate requests fanned out")
+    strips = metrics.counter("serve.strips").value
+    if strips:
+        fused = metrics.histogram("serve.strip_contracts").total
+        print(f"strips   : {strips:.0f} fused strips covering {fused:.0f} "
+              f"contracts")
     return 0
 
 

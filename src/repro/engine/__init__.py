@@ -22,6 +22,7 @@ from repro.engine.pipeline import (
     PipelineEngine,
     PricingJob,
     RankTask,
+    StripJob,
 )
 from repro.engine.registry import (
     EngineCapabilities,
@@ -30,13 +31,14 @@ from repro.engine.registry import (
     default_registry,
 )
 from repro.engine.result import ParallelRunResult
-from repro.engine.runner import run_engine, run_pipeline
+from repro.engine.runner import run_engine, run_pipeline, run_strip
 
 __all__ = [
     "names",
     "PARALLEL_ENGINES",
     "REFERENCE_FAMILIES",
     "PricingJob",
+    "StripJob",
     "ExecutionPlan",
     "RankTask",
     "Estimate",
@@ -45,6 +47,7 @@ __all__ = [
     "ParallelRunResult",
     "run_pipeline",
     "run_engine",
+    "run_strip",
     "EngineCapabilities",
     "EngineSpec",
     "EngineRegistry",

@@ -38,17 +38,19 @@ from repro.engine.pipeline import (
     PipelineEngine,
     PricingJob,
     RankTask,
+    StripJob,
 )
 from repro.errors import ValidationError
 from repro.mc.qmc import QMCSobol
 from repro.mc.statistics import CrossStats, SampleStats, StrataStats
 from repro.parallel.faults import RunReport, charge_report
 from repro.parallel.partition import block_sizes
+from repro.parallel.simcluster import combine_on_schedule
 from repro.rng import Philox4x32
 from repro.rng.streams import make_substreams
 from repro.utils.validation import check_positive, check_positive_int
 
-__all__ = ["MCEngine", "_rank_task", "_partial_nbytes"]
+__all__ = ["MCEngine", "_rank_task", "_strip_rank_task", "_partial_nbytes"]
 
 
 def _partial_nbytes(partial: Any) -> float:
@@ -72,11 +74,30 @@ def _rank_task(task: Tuple[Any, ...]) -> Any:
     return technique.partial(model, payoff, expiry, n, gen, steps=steps, skip=skip)
 
 
+def _strip_rank_task(task: Tuple[Any, ...]) -> Any:
+    """Module-level strip worker: one rank's partials for every contract.
+
+    Same task tuple shape as :func:`_rank_task` with the payoff slot holding
+    the strip's payoff tuple; returns one technique partial per contract,
+    each bitwise equal to the partial the matching single-contract task
+    would have produced (the fused kernel shares the draws, not the
+    arithmetic order). Imported lazily so pickled single-contract tasks
+    never pull :mod:`repro.batch` into workers that don't need it.
+    """
+    from repro.batch.kernels import strip_partial
+
+    technique, model, payoffs, expiry, n, gen, steps, skip = task
+    return strip_partial(technique, model, payoffs, expiry, n, gen,
+                         steps=steps, skip=skip)
+
+
 class MCEngine(PipelineEngine):
     """Backend-mapped pipeline engine over a ``ParallelMCPricer`` config."""
 
     name = MC
     worker = staticmethod(_rank_task)
+    batchable = True
+    strip_worker = staticmethod(_strip_rank_task)
 
     # -- plan -----------------------------------------------------------
 
@@ -140,6 +161,40 @@ class MCEngine(PipelineEngine):
         return [RankTask(rank=r, payload=task)
                 for r, task in enumerate(plan.scratch["tasks"])]
 
+    def plan_strip(self, job: StripJob) -> ExecutionPlan:
+        """Plan a fused strip run: the single-contract plan with the payoff
+        slot holding the whole payoff tuple (the task shape is otherwise
+        identical, so partitioning and substream assignment are unchanged —
+        the bitwise-equivalence guarantee rests on exactly that)."""
+        cfg = self.config
+        check_positive("expiry", job.expiry)
+        p = check_positive_int("p", job.p)
+        if p > cfg.n_paths:
+            raise ValidationError(f"more ranks ({p}) than paths ({cfg.n_paths})")
+        path_dep = {bool(py.is_path_dependent) for py in job.payoffs}
+        if len(path_dep) > 1:
+            raise ValidationError(
+                "a contract strip must be homogeneous in path dependence; "
+                "mixing terminal and path-dependent payoffs changes the "
+                "shared draw shape"
+            )
+        for j, payoff in enumerate(job.payoffs):
+            if payoff.dim != job.model.dim:
+                raise ValidationError(
+                    f"strip payoff {j} dim {payoff.dim} does not match model "
+                    f"dim {job.model.dim}"
+                )
+        tasks, counts = self._build_tasks(job.model, job.payoffs, job.expiry, p)
+        zero_ranks = [r for r, c in enumerate(counts) if c == 0]
+        if zero_ranks:
+            raise ValidationError(
+                f"ranks {zero_ranks} would receive zero paths; reduce p or "
+                f"raise n_paths"
+            )
+        return ExecutionPlan(engine=self.name, job=job, p=p,
+                             scratch={"tasks": tasks, "counts": counts,
+                                      "contracts": len(job.payoffs)})
+
     # -- account --------------------------------------------------------
 
     def account(self, plan: ExecutionPlan, ctx: PipelineContext,
@@ -148,6 +203,16 @@ class MCEngine(PipelineEngine):
         cluster = ctx.cluster
         counts: List[int] = plan.scratch["counts"]
         units = cfg.work.mc_path_units(plan.job.model.dim, cfg.steps)
+        contracts = int(plan.scratch.get("contracts", 1))
+        if contracts > 1:
+            # A fused strip shares path generation and the price transform;
+            # each extra contract only re-runs the payoff on the shared
+            # paths, so the per-path work grows by the payoff term alone —
+            # the amortization the batched throughput gate measures.
+            dim = plan.job.model.dim
+            units += (contracts - 1) * (
+                dim * cfg.work.payoff_per_asset + cfg.work.payoff_base
+            )
         if fault_report is None:
             cluster.compute_all([c * units for c in counts])
         else:
@@ -200,6 +265,58 @@ class MCEngine(PipelineEngine):
                                 topology=cfg.reduce_topology)
         price, stderr, n_eff = cfg.technique.finalize(merged)
         return Estimate(price=price, stderr=stderr, extras={"n_eff": n_eff})
+
+    def reduce_strip(self, plan: ExecutionPlan, state: Any,
+                     ctx: PipelineContext,
+                     fault_report: Optional[RunReport]) -> List[Estimate]:
+        """Per-contract reductions over the fused per-rank partials.
+
+        ``state[r]`` is rank r's tuple of per-contract partials. The strip
+        travels the reduction schedule *once* (one message per edge carrying
+        all contracts' partials — the comm amortization), but each
+        contract's partials are combined in exactly the schedule's
+        association order via :func:`combine_on_schedule`, so every
+        finalized estimate is bitwise equal to its single-contract run.
+        """
+        cfg = self.config
+        cluster = ctx.cluster
+        contracts = int(plan.scratch["contracts"])
+        reduce_t0 = cluster.elapsed()
+        per_rank: List[Any] = state
+        nbytes_one = _partial_nbytes(per_rank[0][0])
+        if fault_report is not None and fault_report.lost_ranks:
+            survivors = [r for r in range(plan.p)
+                         if r not in fault_report.lost_ranks]
+            merged = [
+                cfg.technique.combine([per_rank[r][j] for r in survivors])
+                for j in range(contracts)
+            ]
+            cluster.reduce(contracts * nbytes_one, root=0,
+                           topology=cfg.reduce_topology)
+        else:
+            # One charged reduce for the whole strip; per-contract merges
+            # replay that schedule's exact association order.
+            cluster.reduce(contracts * nbytes_one, root=0,
+                           topology=cfg.reduce_topology)
+            merged = [
+                combine_on_schedule(
+                    [per_rank[r][j] for r in range(plan.p)],
+                    lambda a, b: cfg.technique.combine([a, b]),
+                    root=0,
+                    topology=cfg.reduce_topology,
+                )
+                for j in range(contracts)
+            ]
+        if ctx.tracer:
+            ctx.tracer.add_span("mc.reduce", reduce_t0, cluster.elapsed(),
+                                topology=cfg.reduce_topology,
+                                contracts=contracts)
+        estimates = []
+        for part in merged:
+            price, stderr, n_eff = cfg.technique.finalize(part)
+            estimates.append(Estimate(price=price, stderr=stderr,
+                                      extras={"n_eff": n_eff}))
+        return estimates
 
     # -- report ---------------------------------------------------------
 

@@ -35,7 +35,7 @@ pipeline port.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional, Sequence
 
 from repro.engine.names import PARALLEL_ENGINES
 from repro.errors import ValidationError
@@ -48,6 +48,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "PricingJob",
+    "StripJob",
     "ExecutionPlan",
     "RankTask",
     "Estimate",
@@ -64,6 +65,28 @@ class PricingJob:
     payoff: Any
     expiry: float
     p: int
+
+
+@dataclass(frozen=True)
+class StripJob(PricingJob):
+    """A homogeneous contract strip: one model/expiry, many payoffs.
+
+    Subclasses :class:`PricingJob` so every existing plan/report stage that
+    reads ``job.model`` / ``job.expiry`` / ``job.p`` works unchanged;
+    ``payoff`` is the strip's first member (the exemplar), ``payoffs`` the
+    full tuple the fused kernel evaluates over the strip axis.
+    """
+
+    payoffs: tuple = ()
+
+    @classmethod
+    def from_payoffs(cls, model: Any, payoffs: Iterable[Any], expiry: float,
+                     p: int) -> "StripJob":
+        members = tuple(payoffs)
+        if not members:
+            raise ValidationError("a contract strip needs at least one payoff")
+        return cls(model=model, payoff=members[0], expiry=expiry, p=p,
+                   payoffs=members)
 
 
 @dataclass
@@ -135,6 +158,11 @@ class PipelineEngine:
     name: str = ""
     #: Module-level worker the backend maps over task payloads, or ``None``.
     worker: Optional[Callable[[Any], Any]] = None
+    #: Whether the engine implements the strip stages (fused multi-contract
+    #: pricing); mirrored by the registry's ``batchable`` capability flag.
+    batchable: bool = False
+    #: Module-level worker mapped over strip task payloads, or ``None``.
+    strip_worker: Optional[Callable[[Any], Any]] = None
 
     def __init__(self, config: Any):
         self.config = config
@@ -173,3 +201,26 @@ class PipelineEngine:
         """Engine-specific ``meta`` entries (fault/cross-cutting entries
         the engine owns semantically are added here too)."""
         return {}
+
+    # -- strip stages (batchable engines only) --------------------------
+
+    def plan_strip(self, job: StripJob) -> ExecutionPlan:
+        """Validate a strip job and plan the fused run (batchable engines)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not price contract strips"
+        )
+
+    def execute_strip(self, plan: ExecutionPlan,
+                      ctx: PipelineContext) -> Any:
+        """Inline batchable engines: fused compute loops over the strip."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not price contract strips"
+        )
+
+    def reduce_strip(self, plan: ExecutionPlan, state: Any,
+                     ctx: PipelineContext,
+                     fault_report: Optional["RunReport"]) -> List[Estimate]:
+        """Per-contract estimates from the fused run, in strip order."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not price contract strips"
+        )

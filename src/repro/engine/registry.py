@@ -46,13 +46,16 @@ class EngineCapabilities:
     ``max_dim`` is the asset-dimension ceiling (``None`` = unlimited);
     ``degradable`` marks families whose estimator survives rank loss with
     a widened CI (the ``degrade`` fault policy); ``supports_qmc`` marks
-    families that accept a quasi-Monte Carlo technique.
+    families that accept a quasi-Monte Carlo technique; ``batchable``
+    marks families whose pipeline engine implements the fused strip
+    stages (:mod:`repro.batch` groups cache-missed requests by these).
     """
 
     stochastic: bool = False
     american: bool = False
     degradable: bool = False
     supports_qmc: bool = False
+    batchable: bool = False
     max_dim: Optional[int] = None
 
     def flags(self) -> Tuple[str, ...]:
@@ -66,6 +69,8 @@ class EngineCapabilities:
             out.append("degradable")
         if self.supports_qmc:
             out.append("qmc")
+        if self.batchable:
+            out.append("batchable")
         return tuple(out)
 
 
@@ -136,7 +141,8 @@ class EngineRegistry:
 
     def names(self, *, parallel: bool = False, servable: bool = False,
               reference: bool = False, scalable: bool = False,
-              traceable: bool = False) -> Tuple[str, ...]:
+              traceable: bool = False,
+              batchable: bool = False) -> Tuple[str, ...]:
         """Engine names in registration order, optionally filtered by the
         subsystems the family participates in (flags AND together)."""
         out = []
@@ -150,6 +156,8 @@ class EngineRegistry:
             if scalable and spec.scaling is None:
                 continue
             if traceable and spec.trace is None:
+                continue
+            if batchable and not spec.capabilities.batchable:
                 continue
             out.append(spec.name)
         return tuple(out)
@@ -341,7 +349,7 @@ def default_registry() -> EngineRegistry:
         name=MC,
         summary="path-partitioned Monte Carlo with tree reduction",
         capabilities=EngineCapabilities(stochastic=True, degradable=True,
-                                        supports_qmc=True),
+                                        supports_qmc=True, batchable=True),
         pipeline=_pipeline_mc,
         serve=_serve_mc,
         oracle=_oracle_hook(MC),
@@ -352,7 +360,8 @@ def default_registry() -> EngineRegistry:
     reg.register(EngineSpec(
         name=QMC,
         summary="randomized Sobol quasi-Monte Carlo (replicated shifts)",
-        capabilities=EngineCapabilities(stochastic=True, supports_qmc=True),
+        capabilities=EngineCapabilities(stochastic=True, supports_qmc=True,
+                                        batchable=True),
         oracle=_oracle_hook(QMC),
     ))
     reg.register(EngineSpec(
@@ -364,7 +373,8 @@ def default_registry() -> EngineRegistry:
     reg.register(EngineSpec(
         name=LATTICE,
         summary="level-synchronous BEG lattice with halo exchanges",
-        capabilities=EngineCapabilities(american=True, max_dim=4),
+        capabilities=EngineCapabilities(american=True, batchable=True,
+                                        max_dim=4),
         pipeline=_pipeline_lattice,
         serve=_serve_lattice,
         oracle=_oracle_hook(LATTICE),

@@ -30,16 +30,23 @@ determinism checks gate on.
 
 from __future__ import annotations
 
-from typing import Any, Optional, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
-from repro.engine.pipeline import Estimate, PipelineContext, PipelineEngine, PricingJob
+from repro.engine.pipeline import (
+    Estimate,
+    PipelineContext,
+    PipelineEngine,
+    PricingJob,
+    StripJob,
+)
 from repro.engine.result import ParallelRunResult
+from repro.errors import ValidationError
 from repro.parallel.backends import SerialBackend
 from repro.parallel.faults import FaultPolicy, resilient_map, simulate_recovery
 from repro.parallel.simcluster import SimulatedCluster
 from repro.perf.timer import Timer
 
-__all__ = ["run_pipeline", "run_engine"]
+__all__ = ["run_pipeline", "run_engine", "run_strip"]
 
 
 def run_pipeline(
@@ -139,3 +146,105 @@ def run_engine(
     """Run the pipeline and return just the :class:`ParallelRunResult`."""
     result, _ = run_pipeline(engine, model, payoff, expiry, p)
     return result
+
+
+def run_strip(
+    engine: PipelineEngine,
+    model: Any,
+    payoffs: Sequence[Any],
+    expiry: float,
+    p: int,
+) -> List[ParallelRunResult]:
+    """Price a homogeneous contract strip through one fused engine run.
+
+    The exact middleware order of :func:`run_pipeline` — one simulated
+    cluster, the fault-resilient map (or plain chunked ``backend.map``) for
+    mapped engines, :func:`simulate_recovery` for inline engines, one shared
+    wall-clock :class:`~repro.perf.timer.Timer` — wrapped around the
+    engine's *strip* stages (``plan_strip`` / ``execute_strip`` /
+    ``reduce_strip``). Because the middleware never reorders the engine's
+    arithmetic and the fused kernels share draws that are identical to each
+    single run's, every returned result is bitwise equal to the matching
+    :func:`run_engine` call (asserted by the strip-equivalence test tier).
+
+    Returns one :class:`~repro.engine.result.ParallelRunResult` per payoff,
+    in strip order; timing/communication columns describe the *fused* run
+    and are therefore shared by all members.
+    """
+    if not engine.batchable:
+        raise ValidationError(
+            f"engine {engine.name!r} is not batchable; see "
+            f"EngineCapabilities.batchable"
+        )
+    cfg = engine.config
+    job = StripJob.from_payoffs(model, payoffs, expiry, p)
+    plan = engine.plan_strip(job)
+    tasks = engine.partition(plan)
+
+    faults = getattr(cfg, "faults", None)
+    policy: FaultPolicy = getattr(cfg, "policy", None) or FaultPolicy.parse(None)
+    tracer = getattr(cfg, "tracer", None)
+    record = bool(getattr(cfg, "record", False))
+    cluster = SimulatedCluster(plan.p, cfg.spec, record=record,
+                               faults=faults, tracer=tracer)
+    ctx = PipelineContext(cluster=cluster, tracer=tracer, timer=Timer())
+
+    if tasks is not None:
+        backend = getattr(cfg, "backend", None)
+        if backend is None:
+            backend = SerialBackend()
+        chunksize = getattr(cfg, "chunksize", None)
+        payloads = [task.payload for task in tasks]
+        assert engine.strip_worker is not None, (
+            f"{engine.name} engine has no strip worker")
+        inject = faults is not None and not faults.is_empty
+        with ctx.timer:
+            if inject:
+                state, fault_report = resilient_map(
+                    backend, engine.strip_worker, payloads,
+                    plan=faults, policy=policy, chunksize=chunksize,
+                )
+            else:
+                state = backend.map(engine.strip_worker, payloads,
+                                    chunksize=chunksize)
+                fault_report = None
+        engine.account(plan, ctx, fault_report)
+    else:
+        with ctx.timer:
+            state = engine.execute_strip(plan, ctx)
+        fault_report = simulate_recovery(cluster, faults, policy,
+                                         engine=engine.name)
+
+    estimates = engine.reduce_strip(plan, state, ctx, fault_report)
+    rep = cluster.report()
+    results: List[ParallelRunResult] = []
+    for index, estimate in enumerate(estimates):
+        meta = engine.report(plan, estimate, ctx, fault_report)
+        meta["strip"] = {"contracts": len(estimates), "index": index}
+        if record:
+            meta["cluster"] = cluster
+        results.append(ParallelRunResult(
+            price=estimate.price,
+            stderr=estimate.stderr,
+            p=plan.p,
+            sim_time=rep["elapsed"],
+            wall_time=ctx.timer.elapsed,
+            compute_time=rep["compute_time"],
+            comm_time=rep["comm_time"],
+            idle_time=rep["idle_time"],
+            messages=rep["messages"],
+            bytes_moved=rep["bytes_moved"],
+            engine=engine.name,
+            meta=meta,
+        ))
+
+    metrics = getattr(cfg, "metrics", None)
+    if metrics is not None:
+        metrics.counter("engine.strip_runs", engine=engine.name).inc()
+        metrics.histogram("engine.strip_contracts",
+                          engine=engine.name).observe(float(len(estimates)))
+        metrics.histogram("engine.wall_s", engine=engine.name).observe(
+            ctx.timer.elapsed)
+        metrics.histogram("engine.sim_s", engine=engine.name).observe(
+            rep["elapsed"])
+    return results

@@ -35,7 +35,11 @@ from repro.parallel.backends import (
     ChunkAutotuner,
 )
 from repro.parallel.shm import SharedArrayRef, ShmSession, ShmWorker
-from repro.parallel.simcluster import MachineSpec, SimulatedCluster
+from repro.parallel.simcluster import (
+    MachineSpec,
+    SimulatedCluster,
+    combine_on_schedule,
+)
 from repro.parallel.faults import (
     FaultKind,
     FaultEvent,
@@ -73,6 +77,7 @@ __all__ = [
     "ShmWorker",
     "MachineSpec",
     "SimulatedCluster",
+    "combine_on_schedule",
     "FaultKind",
     "FaultEvent",
     "FaultPlan",

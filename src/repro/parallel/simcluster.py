@@ -45,7 +45,47 @@ import numpy as np
 from repro.errors import ValidationError
 from repro.utils.validation import check_non_negative, check_positive, check_positive_int
 
-__all__ = ["MachineSpec", "SimulatedCluster"]
+__all__ = ["MachineSpec", "SimulatedCluster", "combine_on_schedule"]
+
+
+def combine_on_schedule(payloads, combine, *, root: int = 0,
+                        topology: str = "tree", on_message=None):
+    """Combine per-rank ``payloads`` in the reduction schedule's exact order.
+
+    This is the *association order* of :meth:`SimulatedCluster.reduce_data`
+    factored out as a pure function of ``(len(payloads), root, topology)``:
+    the cluster method delegates here (charging each simulated message via
+    ``on_message``), and the batched strip reduction replays the same
+    schedule per contract without charging per-contract messages — which is
+    what makes a fused strip price bitwise equal to its single-contract run.
+
+    ``on_message(src, dst)``, when given, is invoked once per simulated
+    message immediately before the corresponding ``combine``.
+    """
+    p = len(payloads)
+    data = list(payloads)
+    if p == 1:
+        return data[root]
+    if topology == "linear":
+        acc = data[root]
+        for r in range(p):
+            if r != root:
+                if on_message is not None:
+                    on_message(r, root)
+                acc = combine(acc, data[r])
+        return acc
+    dist = 1
+    while dist < p:
+        for v in range(0, p, 2 * dist):
+            partner = v + dist
+            if partner < p:
+                src = (partner + root) % p
+                dst = (v + root) % p
+                if on_message is not None:
+                    on_message(src, dst)
+                data[dst] = combine(data[dst], data[src])
+        dist *= 2
+    return data[root]
 
 
 @dataclass(frozen=True)
@@ -262,27 +302,10 @@ class SimulatedCluster:
             )
         if topology not in ("tree", "linear"):
             raise ValidationError(f"topology must be 'tree' or 'linear', got {topology!r}")
-        data = list(payloads)
-        if self.p == 1:
-            return data[root]
-        if topology == "linear":
-            acc = data[root]
-            for r in range(self.p):
-                if r != root:
-                    self.send(r, root, nbytes)
-                    acc = combine(acc, data[r])
-            return acc
-        dist = 1
-        while dist < self.p:
-            for v in range(0, self.p, 2 * dist):
-                partner = v + dist
-                if partner < self.p:
-                    src = (partner + root) % self.p
-                    dst = (v + root) % self.p
-                    self.send(src, dst, nbytes)
-                    data[dst] = combine(data[dst], data[src])
-            dist *= 2
-        return data[root]
+        return combine_on_schedule(
+            payloads, combine, root=root, topology=topology,
+            on_message=lambda src, dst: self.send(src, dst, nbytes),
+        )
 
     def bcast_data(self, value, nbytes: float, *, root: int = 0) -> list:
         """Broadcast ``value`` from root; returns the per-rank value list

@@ -100,6 +100,12 @@ class PricingService:
     chunksize : per-map chunking — ``"auto"`` (default) lets a
         :class:`ChunkAutotuner` pick from observed per-task latency, an
         int fixes it, ``None`` maps one task per dispatch.
+    batched : group cache misses into fused
+        :class:`~repro.batch.strip.ContractStrip`\\ s (one backend task
+        prices a whole strip through shared path generation). Quotes stay
+        bitwise equal in price/stderr to the single path — only
+        ``sim_time`` reflects the fused run's amortized cost.
+    min_strip : smallest miss group worth fusing (``batched`` only).
     metrics : optional :class:`~repro.obs.MetricsRegistry`.
     clock : injectable monotonic clock for deadline tests.
     """
@@ -108,12 +114,15 @@ class PricingService:
                  cache: PriceCache | None = None, max_batch: int = 32,
                  max_wait_s: float | None = None,
                  chunksize: int | str | None = "auto",
+                 batched: bool = False, min_strip: int = 2,
                  metrics=None, clock: Callable[[], float] | None = None):
         self._owns_backend = backend is None
         self.backend = backend if backend is not None else SerialBackend()
         self.cache = cache
         self.metrics = metrics
         self.chunksize = chunksize
+        self.batched = bool(batched)
+        self.min_strip = min_strip
         if cache is not None and metrics is not None and cache.metrics is None:
             cache.metrics = metrics
         workers = getattr(self.backend, "max_workers", 1)
@@ -183,13 +192,43 @@ class PricingService:
         if tasks:
             cs = (self._autotuner.chunksize(len(tasks))
                   if self._autotuner is not None else self.chunksize)
-            results = self.backend.map(price_request, tasks, chunksize=cs)
-            self.map_calls += 1
-            for (key, indices), quote in zip(miss_indices.items(), results):
-                for i in indices:
-                    quotes[i] = quote
-                if self.cache is not None:
-                    self.cache.put(key, quote)
+            if self.batched:
+                # Fused dispatch: group the deduped misses into contract
+                # strips, still exactly one backend.map for the batch.
+                from repro.batch.kernels import price_task
+                from repro.batch.plan import plan_batches
+
+                plan = plan_batches(tasks, min_strip=self.min_strip)
+                work = plan.tasks()
+                results = self.backend.map(price_task, work, chunksize=cs)
+                self.map_calls += 1
+                by_key: dict[str, PriceQuote] = {}
+                for item, result in zip(plan.strips, results):
+                    for key, quote in zip(item.keys(), result):
+                        by_key[key] = quote
+                for item, result in zip(tuple(plan.singles),
+                                        results[len(plan.strips):]):
+                    by_key[request_key(item)] = result
+                for key, indices in miss_indices.items():
+                    quote = by_key[key]
+                    for i in indices:
+                        quotes[i] = quote
+                    if self.cache is not None:
+                        self.cache.put(key, quote)
+                if self.metrics is not None and plan.strips:
+                    self.metrics.counter("serve.strips").inc(len(plan.strips))
+                    for s in plan.strips:
+                        self.metrics.histogram(
+                            "serve.strip_contracts").observe(len(s))
+            else:
+                results = self.backend.map(price_request, tasks, chunksize=cs)
+                self.map_calls += 1
+                for (key, indices), quote in zip(miss_indices.items(),
+                                                 results):
+                    for i in indices:
+                        quotes[i] = quote
+                    if self.cache is not None:
+                        self.cache.put(key, quote)
 
         wall = time.perf_counter() - t0
         if tasks and self._autotuner is not None:

@@ -12,9 +12,12 @@ Four pillars, one corpus:
 * :mod:`repro.verify.golden` — committed golden-master snapshots and the
   machine-readable diff behind ``repro verify``;
 * :mod:`repro.verify.determinism` — bitwise replay checks across
-  backends, fault injection and repeated runs.
+  backends, fault injection and repeated runs;
+* :mod:`repro.verify.batched` — the corpus replayed through the fused
+  strip kernels, compared to the oracle cells bitwise.
 """
 
+from repro.verify.batched import BatchedReplayResult, run_batched_replay
 from repro.verify.contracts import (VerifyCase, canonical_json, config_hash,
                                     default_corpus, describe_case)
 from repro.verify.determinism import (DeterminismResult, float_bits,
@@ -33,4 +36,5 @@ __all__ = [
     "GoldenDelta", "GoldenReport", "build_snapshot", "diff_golden",
     "load_snapshot", "save_snapshot",
     "DeterminismResult", "float_bits", "run_determinism",
+    "BatchedReplayResult", "run_batched_replay",
 ]

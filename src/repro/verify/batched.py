@@ -1,0 +1,188 @@
+"""Batched corpus replay: the fused kernels against the oracle's own cells.
+
+The strip-equivalence tests assert bitwise identity between a fused strip
+run and per-contract single runs *of the parallel engines*. This module
+closes the remaining gap to the verification corpus: for every corpus
+case a batchable family prices, it re-prices the case **through the fused
+strip kernels** — embedded in a real multi-member strip next to a decoy
+contract — and demands the strip's price for the case bitwise-match the
+sequential oracle cell. A fused kernel that silently rebaselines the
+corpus (reordered reductions, a shared draw leaking into per-contract
+arithmetic) fails here even if it is internally self-consistent.
+
+Family coverage:
+
+* ``mc`` — :func:`~repro.batch.kernels.strip_estimate` with the exact
+  engine configuration ``repro.verify.oracle._run_mc`` uses (``PlainMC``,
+  ``Philox4x32(seed)``, default batch size), compared on price *and*
+  stderr bits.
+* ``qmc`` — same via ``QMCSobol`` with the cell's replicate count/seed.
+* ``lattice`` — :func:`~repro.batch.kernels.beg_strip_prices` replaying
+  the oracle's parity-averaged ``(steps, steps + 1)`` pair for
+  multi-asset cases. Single-asset lattice cells come from the separate
+  CRR ``binomial_price`` recursion, which the BEG strip kernel does not
+  reproduce bitwise — those cells are reported as skipped with the reason
+  recorded, not silently dropped.
+
+The decoy contract (same payoff class, bumped strike) is what makes the
+check honest: the case prices inside a strip that actually *shares* its
+draws with a second contract, so cross-contract contamination cannot hide.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+from repro.rng import Philox4x32
+from repro.verify.contracts import VerifyCase, default_corpus
+from repro.verify.determinism import float_bits
+from repro.verify.oracle import ORACLE_ADAPTERS, EngineCell
+
+__all__ = ["BatchedReplayResult", "BATCHED_FAMILIES", "decoy_payoff",
+           "run_batched_replay"]
+
+#: Engine families with a fused replay path, in replay order.
+BATCHED_FAMILIES = ("mc", "qmc", "lattice")
+
+
+@dataclass(frozen=True)
+class BatchedReplayResult:
+    """One (case, family) replay verdict."""
+
+    case: str
+    engine: str
+    ok: bool
+    skipped: bool = False
+    detail: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        if self.skipped:
+            return (f"[skip] {self.case}/{self.engine} — "
+                    f"{self.detail.get('reason', '')}")
+        mark = "ok" if self.ok else "FAIL"
+        return (f"[{mark}] {self.case}/{self.engine} — "
+                f"oracle={self.detail.get('oracle_bits', '')} "
+                f"batched={self.detail.get('batched_bits', '')}")
+
+
+def decoy_payoff(payoff):
+    """A same-class companion contract with a bumped strike.
+
+    The replayed case must sit in a strip with at least one *other*
+    member, or the fused kernels degenerate to the single path and the
+    replay proves nothing. Every corpus payoff carries a ``strike``;
+    bumping it on a deep copy changes per-contract arithmetic while
+    leaving the shared draw shape (class, dim, path dependence) intact.
+    """
+    if not hasattr(payoff, "strike"):
+        raise ValidationError(
+            f"{type(payoff).__name__} has no strike to bump; add a decoy "
+            f"rule for this payoff class"
+        )
+    other = copy.deepcopy(payoff)
+    other.strike = float(other.strike) + 1.0
+    return other
+
+
+def _reference_cell(case: VerifyCase, family: str,
+                    cells_by_case: dict | None) -> EngineCell:
+    """The oracle cell to compare against — reused when the caller already
+    ran the oracle (the CLI path), recomputed otherwise."""
+    if cells_by_case is not None:
+        cell = cells_by_case.get(case.name, {}).get(family)
+        if cell is not None:
+            return cell
+    return ORACLE_ADAPTERS[family](case, dict(case.engines[family]))
+
+
+def _replay_mc(case: VerifyCase, params: dict) -> tuple[float, float]:
+    from repro.batch.kernels import strip_estimate
+    from repro.mc.variance_reduction import PlainMC
+
+    w = case.workload
+    payoffs = [w.payoff, decoy_payoff(w.payoff)]
+    price, stderr, _ = strip_estimate(
+        PlainMC(), w.model, payoffs, w.expiry, params["n_paths"],
+        Philox4x32(params.get("seed", 0)), steps=params.get("steps"))[0]
+    return float(price), float(stderr)
+
+
+def _replay_qmc(case: VerifyCase, params: dict) -> tuple[float, float]:
+    from repro.batch.kernels import strip_estimate
+    from repro.mc.qmc import QMCSobol
+
+    w = case.workload
+    technique = QMCSobol(params.get("replicates", 8),
+                         seed=params.get("seed", 2027))
+    payoffs = [w.payoff, decoy_payoff(w.payoff)]
+    # The oracle's MonteCarloEngine is built without an engine seed, so
+    # its (unused-by-Sobol) stream generator is Philox4x32(0).
+    price, stderr, _ = strip_estimate(
+        technique, w.model, payoffs, w.expiry, params["n_paths"],
+        Philox4x32(0), steps=params.get("steps"))[0]
+    return float(price), float(stderr)
+
+
+def _replay_lattice(case: VerifyCase, params: dict) -> float:
+    from repro.batch.kernels import beg_strip_prices
+
+    w = case.workload
+    steps = params["steps"]
+    payoffs = [w.payoff, decoy_payoff(w.payoff)]
+    fine = beg_strip_prices(w.model, payoffs, w.expiry, steps,
+                            american=case.american)[0]
+    fine_next = beg_strip_prices(w.model, payoffs, w.expiry, steps + 1,
+                                 american=case.american)[0]
+    # Same association order as oracle._run_lattice's parity average.
+    return 0.5 * (fine + fine_next)
+
+
+def _replay_family(case: VerifyCase, family: str, params: dict,
+                   cell: EngineCell) -> BatchedReplayResult:
+    if family == "lattice":
+        if case.workload.model.dim == 1:
+            return BatchedReplayResult(
+                case.name, family, ok=True, skipped=True,
+                detail={"reason": "1-d lattice cells use the CRR binomial "
+                                  "recursion, not the BEG kernel the strip "
+                                  "path fuses — no bitwise target exists"})
+        price = _replay_lattice(case, params)
+        oracle_bits = float_bits(cell.price)
+        batched_bits = float_bits(price)
+        return BatchedReplayResult(
+            case.name, family, ok=batched_bits == oracle_bits,
+            detail={"oracle_bits": oracle_bits, "batched_bits": batched_bits,
+                    "price": price})
+
+    replay = _replay_mc if family == "mc" else _replay_qmc
+    price, stderr = replay(case, params)
+    oracle_bits = (f"{float_bits(cell.price)}|"
+                   f"{float_bits(cell.detail['stderr'])}")
+    batched_bits = f"{float_bits(price)}|{float_bits(stderr)}"
+    return BatchedReplayResult(
+        case.name, family, ok=batched_bits == oracle_bits,
+        detail={"oracle_bits": oracle_bits, "batched_bits": batched_bits,
+                "price": price, "stderr": stderr})
+
+
+def run_batched_replay(corpus=None, *,
+                       cells_by_case: dict | None = None
+                       ) -> list[BatchedReplayResult]:
+    """Replay every batchable (case, family) cell through the fused kernels.
+
+    ``cells_by_case`` optionally supplies already-computed oracle cells
+    (``OracleReport.cells`` shape: ``{case: {family: EngineCell}}``) so a
+    CLI run that just executed the oracle does not price the references
+    twice. Missing cells are recomputed from the case's recorded settings.
+    """
+    results: list[BatchedReplayResult] = []
+    for case in (corpus if corpus is not None else default_corpus()):
+        for family in BATCHED_FAMILIES:
+            if family not in case.engines:
+                continue
+            params = dict(case.engines[family])
+            cell = _reference_cell(case, family, cells_by_case)
+            results.append(_replay_family(case, family, params, cell))
+    return results

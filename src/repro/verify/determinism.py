@@ -246,6 +246,78 @@ def check_serve_batching(n_paths: int, seed: int) -> list[DeterminismResult]:
     return out
 
 
+def check_strip_batching(n_paths: int, seed: int) -> list[DeterminismResult]:
+    """Fused contract strips must price bitwise like their single runs.
+
+    Three angles: the engine layer (``run_strip`` vs ``run_engine`` for MC
+    and the lattice), and the serve layer (a ``batched=True`` service vs
+    the single-request service over one strip-shaped book, compared by
+    price-bit digest — ``sim_time`` legitimately differs, it describes the
+    fused run).
+    """
+    import hashlib
+
+    from repro.core.lattice_parallel import ParallelLatticePricer
+    from repro.core.mc_parallel import ParallelMCPricer
+    from repro.engine.lattice import LatticeEngine
+    from repro.engine.mc import MCEngine
+    from repro.engine.runner import run_engine, run_strip
+    from repro.serve import PricingRequest, PricingService
+    from repro.workloads.generators import strike_strip
+
+    model = MultiAssetGBM.single(100.0, 0.2, 0.05)
+    payoffs = [Call(90.0), Call(100.0), Call(110.0), Put(100.0)]
+    out = []
+
+    mc = ParallelMCPricer(max(n_paths // 8, 256), seed=seed)
+    singles = [run_engine(MCEngine(mc), model, py, 1.0, 4).price
+               for py in payoffs]
+    fused = [r.price for r in run_strip(MCEngine(mc), model, payoffs, 1.0, 4)]
+    out.append(_verdict("strip-batching", "mc strip of 4, p=4", {
+        "singles": "|".join(float_bits(x) for x in singles),
+        "fused": "|".join(float_bits(x) for x in fused),
+    }))
+
+    lat = ParallelLatticePricer(96)
+    singles = [run_engine(LatticeEngine(lat), model, py, 1.0, 3).price
+               for py in payoffs]
+    fused = [r.price
+             for r in run_strip(LatticeEngine(lat), model, payoffs, 1.0, 3)]
+    out.append(_verdict("strip-batching", "lattice strip of 4, p=3", {
+        "singles": "|".join(float_bits(x) for x in singles),
+        "fused": "|".join(float_bits(x) for x in fused),
+    }))
+
+    # One shared model and seed across the book, so the whole stream
+    # groups into a single strip on the batched path.
+    requests = [PricingRequest(w, engine="mc",
+                               n_paths=max(n_paths // 16, 256),
+                               seed=seed, p=2, name=w.name)
+                for w in strike_strip(12)]
+
+    def digest(quotes):
+        joined = "|".join(float_bits(q.price) + float_bits(q.stderr)
+                          for q in quotes)
+        return hashlib.sha256(joined.encode()).hexdigest()[:16]
+
+    bits = {}
+    with PricingService(max_batch=len(requests), cache=None) as svc:
+        bits["single-path"] = digest(svc.price_many(requests))
+    with PricingService(max_batch=len(requests), cache=None,
+                        batched=True) as svc:
+        bits["batched-path"] = digest(svc.price_many(requests))
+        batched_maps = svc.map_calls
+    detail = "" if batched_maps == 1 else (
+        f"batched service issued {batched_maps} map calls for one batch")
+    verdict = _verdict("strip-batching", "serve 12-strike strip, digest",
+                       bits, detail)
+    if detail:
+        verdict = DeterminismResult(verdict.check, verdict.subject, False,
+                                    verdict.bits, detail)
+    out.append(verdict)
+    return out
+
+
 #: Name → check callable; each takes ``(n_paths, seed)``.
 DETERMINISM_CHECKS = {
     "backend-invariance": check_backend_invariance,
@@ -253,12 +325,20 @@ DETERMINISM_CHECKS = {
     "engine-replay": check_engine_replay,
     "worker-invariance": check_worker_invariance,
     "serve-batching": check_serve_batching,
+    "strip-batching": check_strip_batching,
 }
 
 
-def run_determinism(*, n_paths: int = 20_000, seed: int = 17) -> list[DeterminismResult]:
-    """Run every determinism check; deterministic in ``(n_paths, seed)``."""
+def run_determinism(*, n_paths: int = 20_000, seed: int = 17,
+                    batched: bool = True) -> list[DeterminismResult]:
+    """Run every determinism check; deterministic in ``(n_paths, seed)``.
+
+    ``batched=False`` skips the ``strip-batching`` check (the CLI's
+    ``--batched`` toggle maps here), keeping pre-strip replay timings.
+    """
     results: list[DeterminismResult] = []
-    for check in DETERMINISM_CHECKS.values():
+    for name, check in DETERMINISM_CHECKS.items():
+        if name == "strip-batching" and not batched:
+            continue
         results.extend(check(n_paths, seed))
     return results

@@ -12,6 +12,7 @@ from repro.workloads.generators import (
     rainbow_workload,
     spread_workload,
     random_portfolio,
+    strike_strip,
     Workload,
 )
 from repro.workloads.suites import (
@@ -27,6 +28,7 @@ __all__ = [
     "rainbow_workload",
     "spread_workload",
     "random_portfolio",
+    "strike_strip",
     "Workload",
     "DIMENSION_SWEEP",
     "PROCESSOR_SWEEP",

@@ -12,11 +12,12 @@ from repro.market.gbm import MultiAssetGBM
 from repro.payoffs.base import Payoff
 from repro.payoffs.basket import BasketCall, GeometricBasketCall
 from repro.payoffs.rainbow import CallOnMax, SpreadCall
+from repro.payoffs.vanilla import Call
 from repro.rng import Philox4x32
 from repro.utils.validation import check_positive, check_positive_int
 
 __all__ = ["Workload", "basket_workload", "rainbow_workload", "spread_workload",
-           "random_portfolio"]
+           "random_portfolio", "strike_strip"]
 
 
 @dataclass(frozen=True)
@@ -61,6 +62,40 @@ def spread_workload(*, rho: float = 0.5, strike: float = 5.0,
     model = MultiAssetGBM([100.0, 96.0], [0.25, 0.2], 0.05,
                           correlation=np.array([[1.0, rho], [rho, 1.0]]))
     return Workload("spread-call", model, SpreadCall(strike), expiry)
+
+
+def strike_strip(n_strikes: int, *, dim: int = 1, spot: float = 100.0,
+                 vol: float = 0.2, rate: float = 0.05, rho: float = 0.3,
+                 lo: float = 80.0, hi: float = 120.0,
+                 expiry: float = 1.0) -> list[Workload]:
+    """A strike ladder on **one shared market model** — the batchable book.
+
+    Every workload shares the same model instance and expiry and differs
+    only in its payoff strike (a vanilla call for ``dim=1``, an
+    equal-weight basket call otherwise), so a request stream built from it
+    with one engine config groups into a single
+    :class:`~repro.batch.strip.ContractStrip`. This is the shape the
+    batched throughput gate (benchmark F15d) prices.
+    """
+    n = check_positive_int("n_strikes", n_strikes)
+    d = check_positive_int("dim", dim)
+    check_positive("expiry", expiry)
+    if not 0.0 < lo < hi:
+        raise ValidationError(f"need 0 < lo < hi, got lo={lo}, hi={hi}")
+    if d == 1:
+        model = MultiAssetGBM.single(spot, vol, rate)
+    else:
+        model = MultiAssetGBM.equicorrelated(d, spot, vol, rate, rho)
+    strikes = np.linspace(lo, hi, n)
+    out: list[Workload] = []
+    for i, strike in enumerate(strikes):
+        if d == 1:
+            payoff: Payoff = Call(float(strike))
+        else:
+            payoff = BasketCall([1.0 / d] * d, float(strike))
+        out.append(Workload(f"strip-{i}-k{float(strike):g}", model, payoff,
+                            expiry))
+    return out
 
 
 def random_portfolio(n_contracts: int, *, dim: int = 4, seed: int = 0,

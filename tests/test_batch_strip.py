@@ -1,0 +1,349 @@
+"""Strip-equivalence tier: fused batch pricing must be *bitwise* single.
+
+The contract under test (see ``repro.batch.kernels``): a fused strip run
+shares only the **inputs** of each contract's arithmetic — the normal
+block, the terminal-price matrix / path tensor, the lattice mesh — while
+every per-contract operation runs in the single-run order. IEEE-754
+arithmetic cannot observe input sharing, so every assertion here is on
+equality of floats (``==``, i.e. bit identity for finite doubles), never
+a tolerance. A tolerance would hide exactly the bugs this tier exists to
+catch: reordered reductions, a shared buffer mutated by one contract,
+technique state leaking across the strip.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analytic import bs_price
+from repro.batch import BatchPlan, ContractStrip, batch_key, plan_batches
+from repro.batch.kernels import beg_strip_prices, strip_estimate, strip_partial
+from repro.core import ParallelLatticePricer, ParallelMCPricer
+from repro.engine.lattice import LatticeEngine
+from repro.engine.mc import MCEngine
+from repro.engine.registry import default_registry
+from repro.engine.runner import run_engine, run_strip
+from repro.errors import ValidationError
+from repro.lattice import beg_price
+from repro.market.gbm import MultiAssetGBM
+from repro.mc.qmc import QMCSobol
+from repro.mc.variance_reduction import Antithetic, ControlVariate, PlainMC
+from repro.payoffs import AsianGeometricCall, Call, CallOnMax, Forward, Put
+from repro.rng import Philox4x32
+from repro.serve import PriceCache, PricingRequest, PricingService
+from repro.workloads import rainbow_workload, strike_strip
+
+N_PATHS = 4_000
+EXPIRY = 1.0
+
+
+@pytest.fixture(scope="module")
+def model1():
+    return MultiAssetGBM.single(100.0, 0.2, 0.05)
+
+
+@pytest.fixture(scope="module")
+def payoffs1():
+    return [Call(90.0), Call(100.0), Call(110.0), Put(100.0)]
+
+
+def _technique(name):
+    if name == "plain":
+        return PlainMC()
+    if name == "antithetic":
+        return Antithetic()
+    if name == "qmc":
+        return QMCSobol(8, seed=5)
+    # Fallback path: no fused form — per-contract runs on identically
+    # seeded generator copies.
+    mean = bs_price(100.0, 100.0, 0.2, 0.05, EXPIRY, option="call")
+    return ControlVariate(Call(100.0), mean)
+
+
+# ---------------------------------------------------------------------------
+# Engine layer: run_strip vs run_engine
+# ---------------------------------------------------------------------------
+
+
+class TestMCStripEquivalence:
+    @pytest.mark.parametrize("tech", ["plain", "antithetic", "qmc", "cv"])
+    @pytest.mark.parametrize("p", [1, 3])
+    def test_mc_strip_bitwise(self, model1, payoffs1, tech, p):
+        if tech in ("antithetic", "qmc") and p == 3:
+            p = 2  # these techniques need even per-rank path counts
+        pricer = ParallelMCPricer(N_PATHS, seed=11, technique=_technique(tech))
+        singles = [run_engine(MCEngine(pricer), model1, py, EXPIRY, p)
+                   for py in payoffs1]
+        fused = run_strip(MCEngine(pricer), model1, payoffs1, EXPIRY, p)
+        assert [r.price for r in fused] == [r.price for r in singles]
+        assert [r.stderr for r in fused] == [r.stderr for r in singles]
+
+    def test_path_dependent_strip_bitwise(self, model1):
+        payoffs = [AsianGeometricCall(k) for k in (90.0, 100.0, 110.0)]
+        pricer = ParallelMCPricer(N_PATHS, seed=3, steps=12)
+        singles = [run_engine(MCEngine(pricer), model1, py, EXPIRY, 3)
+                   for py in payoffs]
+        fused = run_strip(MCEngine(pricer), model1, payoffs, EXPIRY, 3)
+        assert [r.price for r in fused] == [r.price for r in singles]
+
+    def test_strip_meta_indexes_contracts(self, model1, payoffs1):
+        pricer = ParallelMCPricer(N_PATHS, seed=11)
+        fused = run_strip(MCEngine(pricer), model1, payoffs1, EXPIRY, 2)
+        assert [r.meta["strip"]["index"] for r in fused] == [0, 1, 2, 3]
+        assert all(r.meta["strip"]["contracts"] == 4 for r in fused)
+
+    def test_mixed_path_dependence_rejected(self, model1):
+        pricer = ParallelMCPricer(N_PATHS, seed=1, steps=12)
+        with pytest.raises(ValidationError, match="homogeneous"):
+            run_strip(MCEngine(pricer), model1,
+                      [Call(100.0), AsianGeometricCall(100.0)], EXPIRY, 2)
+
+    def test_strip_shares_one_draw(self, model1, payoffs1):
+        """The fused run must actually amortize: one rank's fused work
+        units grow by the per-path payoff cost only, not by a full extra
+        simulation per contract (the accounting mirror of sharing z)."""
+        pricer = ParallelMCPricer(N_PATHS, seed=11)
+        single = run_engine(MCEngine(pricer), model1, payoffs1[0], EXPIRY, 2)
+        fused = run_strip(MCEngine(pricer), model1, payoffs1, EXPIRY, 2)
+        assert fused[0].compute_time < 4 * single.compute_time
+
+
+class TestLatticeStripEquivalence:
+    @pytest.mark.parametrize("p", [1, 3])
+    @pytest.mark.parametrize("american", [False, True])
+    def test_lattice_1d_strip_bitwise(self, model1, payoffs1, p, american):
+        pricer = ParallelLatticePricer(48, american=american)
+        singles = [run_engine(LatticeEngine(pricer), model1, py, EXPIRY, p)
+                   for py in payoffs1]
+        fused = run_strip(LatticeEngine(pricer), model1, payoffs1, EXPIRY, p)
+        assert [r.price for r in fused] == [r.price for r in singles]
+
+    def test_lattice_2d_strip_bitwise(self):
+        w = rainbow_workload()
+        payoffs = [CallOnMax(k) for k in (90.0, 100.0, 110.0)]
+        pricer = ParallelLatticePricer(24)
+        singles = [run_engine(LatticeEngine(pricer), w.model, py, w.expiry, 2)
+                   for py in payoffs]
+        fused = run_strip(LatticeEngine(pricer), w.model, payoffs, w.expiry, 2)
+        assert [r.price for r in fused] == [r.price for r in singles]
+
+    def test_lattice_rejects_path_dependent_strip(self, model1):
+        pricer = ParallelLatticePricer(24)
+        with pytest.raises(ValidationError):
+            run_strip(LatticeEngine(pricer), model1,
+                      [AsianGeometricCall(100.0), AsianGeometricCall(90.0)],
+                      EXPIRY, 2)
+
+
+class TestRunStripValidation:
+    def test_non_batchable_engine_rejected(self, model1, payoffs1):
+        from repro.core import ParallelPDEPricer
+        from repro.engine.pde import PDEEngine
+
+        pricer = ParallelPDEPricer(n_space=24, n_time=6)
+        with pytest.raises(ValidationError, match="not batchable"):
+            run_strip(PDEEngine(pricer), model1, payoffs1, EXPIRY, 2)
+
+    def test_dim_mismatch_rejected(self, model1):
+        pricer = ParallelMCPricer(N_PATHS)
+        with pytest.raises(ValidationError):
+            run_strip(MCEngine(pricer), model1,
+                      [Call(100.0), CallOnMax(100.0)], EXPIRY, 2)
+
+
+# ---------------------------------------------------------------------------
+# Kernel layer: strip_partial / strip_estimate / beg_strip_prices
+# ---------------------------------------------------------------------------
+
+
+class TestStripKernels:
+    def test_strip_estimate_matches_estimate_multibatch(self, model1):
+        payoffs = [Call(95.0), Put(105.0)]
+        fused = strip_estimate(PlainMC(), model1, payoffs, EXPIRY, 5_000,
+                               Philox4x32(9), batch_size=1_024)
+        for py, got in zip(payoffs, fused):
+            want = PlainMC().estimate(model1, py, EXPIRY, 5_000,
+                                      Philox4x32(9), batch_size=1_024)
+            assert got == want
+
+    def test_qmc_strip_estimate_matches_estimate(self, model1):
+        payoffs = [Call(95.0), Put(105.0)]
+        tech = QMCSobol(8, seed=5)
+        fused = strip_estimate(tech, model1, payoffs, EXPIRY, 4_096,
+                               Philox4x32(0), batch_size=512)
+        for py, got in zip(payoffs, fused):
+            want = tech.estimate(model1, py, EXPIRY, 4_096, Philox4x32(0),
+                                 batch_size=512)
+            assert got == want
+
+    def test_fallback_advances_master_generator(self, model1):
+        """Contract 0 runs on the master generator, so after a fused
+        partial the stream sits exactly where a single run left it — the
+        alignment multi-batch estimate loops depend on."""
+        mean = bs_price(100.0, 100.0, 0.2, 0.05, EXPIRY, option="call")
+        tech = ControlVariate(Forward(), mean)
+        g_fused, g_single = Philox4x32(4), Philox4x32(4)
+        strip_partial(tech, model1, [Call(100.0), Put(100.0)], EXPIRY, 1_000,
+                      g_fused)
+        tech.partial(model1, Call(100.0), EXPIRY, 1_000, g_single)
+        assert g_fused.normals(4).tolist() == g_single.normals(4).tolist()
+
+    def test_beg_strip_matches_beg_price(self):
+        w = rainbow_workload()
+        payoffs = [CallOnMax(k) for k in (90.0, 100.0, 110.0)]
+        for american in (False, True):
+            fused = beg_strip_prices(w.model, payoffs, w.expiry, 16,
+                                     american=american)
+            singles = [beg_price(w.model, py, w.expiry, 16,
+                                 american=american).price for py in payoffs]
+            assert fused == singles
+
+    def test_empty_strip_rejected(self, model1):
+        with pytest.raises(ValidationError):
+            strip_partial(PlainMC(), model1, [], EXPIRY, 100, Philox4x32(0))
+        with pytest.raises(ValidationError):
+            beg_strip_prices(model1, [], EXPIRY, 8)
+
+
+# ---------------------------------------------------------------------------
+# Planning layer: batch_key / ContractStrip / plan_batches
+# ---------------------------------------------------------------------------
+
+
+def _strip_requests(n=4, *, seed=0, n_paths=N_PATHS, engine="mc"):
+    return [PricingRequest(w, engine=engine, n_paths=n_paths, seed=seed,
+                           p=2, name=w.name)
+            for w in strike_strip(n)]
+
+
+class TestPlanBatches:
+    def test_shared_stream_groups_into_one_strip(self):
+        plan = plan_batches(_strip_requests(5))
+        assert len(plan.strips) == 1 and len(plan.strips[0]) == 5
+        assert plan.singles == ()
+        assert plan.fused_contracts == 5
+
+    def test_different_settings_split_strips(self):
+        reqs = _strip_requests(3, seed=0) + _strip_requests(3, seed=1)
+        plan = plan_batches(reqs)
+        assert len(plan.strips) == 2
+        assert {len(s) for s in plan.strips} == {3}
+
+    def test_min_strip_returns_undersized_groups_to_singles(self):
+        reqs = _strip_requests(2)
+        plan = plan_batches(reqs, min_strip=3)
+        assert plan.strips == ()
+        assert list(plan.singles) == reqs
+
+    def test_non_batchable_family_stays_single(self):
+        from repro.workloads import spread_workload
+
+        w = spread_workload()
+        reqs = [PricingRequest(w, engine="pde", grid=24, steps=6, p=2)
+                for _ in range(3)]
+        plan = plan_batches(reqs + _strip_requests(3))
+        assert len(plan.strips) == 1
+        assert [r.engine for r in plan.singles] == ["pde"] * 3
+        # tasks(): strips first, then singles — a stable map order.
+        tasks = plan.tasks()
+        assert isinstance(tasks[0], ContractStrip)
+        assert len(tasks) == 4
+
+    def test_rejects_non_request_items(self):
+        with pytest.raises(ValidationError, match="PricingRequest"):
+            plan_batches(["not-a-request"])
+
+    def test_plan_is_frozen(self):
+        plan = plan_batches(_strip_requests(3))
+        assert isinstance(plan, BatchPlan)
+        with pytest.raises(AttributeError):
+            plan.strips = ()
+
+
+class TestContractStrip:
+    def test_mixed_keys_rejected(self):
+        reqs = _strip_requests(2, seed=0) + _strip_requests(2, seed=1)
+        with pytest.raises(ValidationError):
+            ContractStrip.from_requests(reqs)
+
+    def test_keys_preserve_request_identity(self):
+        from repro.serve.batching import request_key
+
+        reqs = _strip_requests(4)
+        strip = ContractStrip.from_requests(reqs)
+        assert strip.keys() == [request_key(r) for r in reqs]
+        assert len(set(strip.keys())) == 4  # strikes differ -> keys differ
+        assert len({batch_key(r) for r in reqs}) == 1
+
+    def test_column_extracts_payoff_attribute(self):
+        strip = ContractStrip.from_requests(_strip_requests(4))
+        strikes = strip.column("strike")
+        assert isinstance(strikes, np.ndarray)
+        assert strikes.tolist() == sorted(strikes.tolist())
+        with pytest.raises(ValidationError):
+            strip.column("no_such_attr")
+
+
+class TestRegistryBatchable:
+    def test_batchable_families(self):
+        names = default_registry().names(batchable=True)
+        assert set(names) == {"mc", "qmc", "lattice"}
+
+    def test_flag_surfaces_in_capabilities(self):
+        reg = default_registry()
+        assert "batchable" in reg.get("mc").capabilities.flags()
+        assert "batchable" not in reg.get("pde").capabilities.flags()
+
+
+# ---------------------------------------------------------------------------
+# Serving layer: batched service vs single path
+# ---------------------------------------------------------------------------
+
+
+class TestServeBatched:
+    def test_batched_service_bitwise_and_one_map(self):
+        reqs = _strip_requests(6, n_paths=1_500)
+        with PricingService(max_batch=len(reqs), cache=None) as svc:
+            single = svc.price_many(reqs)
+        with PricingService(max_batch=len(reqs), cache=None,
+                            batched=True) as svc:
+            batched = svc.price_many(reqs)
+            assert svc.map_calls == 1
+        assert [(q.price, q.stderr) for q in batched] == \
+               [(q.price, q.stderr) for q in single]
+
+    def test_batched_cache_fanout_and_hot_replay(self):
+        reqs = _strip_requests(4, n_paths=1_500)
+        stream = reqs + reqs[:2]  # in-batch duplicates
+        cache = PriceCache(32)
+        with PricingService(max_batch=len(stream), cache=cache,
+                            batched=True) as svc:
+            quotes = svc.price_many(stream)
+            assert svc.map_calls == 1
+            assert quotes[0] is quotes[4] and quotes[1] is quotes[5]
+            svc.price_many(reqs)  # 100% hit replay
+            assert svc.map_calls == 1  # cache answered; no new map
+
+    def test_mixed_book_strips_and_singles_one_map(self):
+        from repro.workloads import spread_workload
+
+        w = spread_workload()
+        reqs = _strip_requests(3, n_paths=1_500) + [
+            PricingRequest(w, engine="pde", grid=24, steps=6, p=2)]
+        with PricingService(max_batch=len(reqs), cache=None) as svc:
+            single = svc.price_many(reqs)
+        with PricingService(max_batch=len(reqs), cache=None,
+                            batched=True) as svc:
+            batched = svc.price_many(reqs)
+            assert svc.map_calls == 1
+        assert [(q.price, q.stderr, q.engine) for q in batched] == \
+               [(q.price, q.stderr, q.engine) for q in single]
+
+    def test_min_strip_disables_fusion_for_small_groups(self):
+        from repro.obs import MetricsRegistry
+
+        reqs = _strip_requests(2, n_paths=1_500)
+        metrics = MetricsRegistry()
+        with PricingService(max_batch=len(reqs), cache=None, batched=True,
+                            min_strip=3, metrics=metrics) as svc:
+            svc.price_many(reqs)
+        assert metrics.counter("serve.strips").value == 0
