@@ -1,6 +1,6 @@
 """F14 — Observability overhead on the MC hot path.
 
-Two claims for the obs layer, measured on F1's MC speedup configuration:
+Three claims for the obs layer, measured on F1's MC speedup configuration:
 
 1. **Disabled is free** — constructing the pricer with a *disabled*
    tracer (``Tracer(enabled=False)``) costs nothing measurable: every
@@ -10,9 +10,14 @@ Two claims for the obs layer, measured on F1's MC speedup configuration:
 2. **Enabled is cheap** — a live tracer recording every phase and
    per-rank span adds < 5% wall-clock: span recording is append-only
    (no formatting, no I/O on the hot path; exporters run after the run).
+3. **Full observability is cheap** — a live tracer *plus* a metrics
+   registry (quantile histograms on every engine/task observation) *plus*
+   a run ledger appending a canonical-JSON record per run stays under the
+   same 5% budget: histogram observation is two dict updates and a
+   ``log2``, and the ledger writes one line per *run*, not per task.
 
-The three variants are timed interleaved (bare → disabled → enabled per
-repeat) so clock drift and cache state hit all three equally; the best
+The variants are timed interleaved (bare → disabled → enabled → full per
+repeat) so clock drift and cache state hit all variants equally; the best
 of 7 repeats is compared (min is the noise-resistant estimator — see
 ``repro.perf.timer.TimingStats`` — which keeps the 5% gate stable at
 CI's quick scale where scheduler jitter exceeds the budget).
@@ -21,10 +26,12 @@ CI's quick scale where scheduler jitter exceeds the budget).
 from __future__ import annotations
 
 import sys
+import tempfile
 import time
+from pathlib import Path
 
 from repro.core import ParallelMCPricer
-from repro.obs import Tracer
+from repro.obs import MetricsRegistry, RunLedger, Tracer
 from repro.utils import Table
 from repro.workloads import basket_workload
 
@@ -35,14 +42,19 @@ BUDGET = 0.05
 
 
 def _measure(n_paths: int = N_PATHS, repeats: int = REPEATS) -> dict:
-    """Interleaved best-of-N wall-clock for bare / disabled / enabled."""
+    """Interleaved best-of-N wall-clock per observability variant."""
     w = basket_workload(2)
     live = Tracer()
+    tmpdir = tempfile.mkdtemp(prefix="f14_ledger_")
+    full = ParallelMCPricer(n_paths, seed=1, tracer=Tracer())
+    full.metrics = MetricsRegistry()
+    full.ledger = RunLedger(Path(tmpdir) / "runs.jsonl")
     pricers = {
         "bare (no tracer)": ParallelMCPricer(n_paths, seed=1),
         "disabled tracer": ParallelMCPricer(
             n_paths, seed=1, tracer=Tracer(enabled=False)),
         "enabled tracer": ParallelMCPricer(n_paths, seed=1, tracer=live),
+        "tracer+metrics+ledger": full,
     }
     samples = {name: [] for name in pricers}
     for _ in range(repeats):
@@ -79,8 +91,11 @@ def test_f14_obs_overhead(benchmark, show):
     show(table.render())
     disabled = overheads["disabled tracer"]
     enabled = overheads["enabled tracer"]
+    full = overheads["tracer+metrics+ledger"]
     assert disabled < BUDGET, f"disabled-tracer overhead {disabled:.1%} ≥ 5%"
     assert enabled < BUDGET, f"enabled-tracer overhead {enabled:.1%} ≥ 5%"
+    assert full < BUDGET, \
+        f"tracer+metrics+ledger overhead {full:.1%} ≥ 5%"
 
 
 if __name__ == "__main__":

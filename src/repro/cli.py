@@ -20,6 +20,11 @@ Seven commands cover the library's headline flows without writing code:
   write a Perfetto-loadable ``<out>.trace.json`` plus a canonical
   ``<out>.metrics.json`` snapshot (optionally under an injected fault
   plan — the chaos-trace workflow from docs/tutorial);
+* ``obs`` — the run-ledger toolbox: ``obs report`` summarizes a JSONL
+  ledger per (kind, engine, stage) with quantiles; ``obs diff`` compares
+  two ledgers under noise-aware tolerance bands and exits nonzero on a
+  regression (the CI perf gate); ``obs flame`` runs one pricing job under
+  the sampling profiler and writes flamegraph collapsed stacks;
 * ``verify`` — replay the correctness-verification corpus (differential
   oracle, metamorphic properties, golden-master diff, determinism checks)
   and exit nonzero on any violation; ``--update`` rebaselines the golden
@@ -190,6 +195,63 @@ def build_parser() -> argparse.ArgumentParser:
                          help="request book shape: a random portfolio "
                               "(heterogeneous models) or a strike strip on "
                               "one shared model (the batchable shape)")
+    p_serve.add_argument("--ledger", default=None,
+                         help="append one run-ledger record per executed "
+                              "batch to this JSONL file")
+
+    p_obs = sub.add_parser(
+        "obs",
+        help="run-ledger observability: summarize, diff (perf gate), "
+             "profile to flamegraph collapsed stacks",
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+
+    p_report = obs_sub.add_parser(
+        "report", help="per-(kind, engine, stage) timing summary of a "
+                       "JSONL run ledger")
+    p_report.add_argument("ledger", help="ledger file (JSONL of RunRecords)")
+    p_report.add_argument("--csv", action="store_true",
+                          help="emit CSV instead of the text table")
+
+    p_diff = obs_sub.add_parser(
+        "diff", help="compare two ledgers stage by stage; exit 1 when any "
+                     "stage regresses past its fail band")
+    p_diff.add_argument("base", help="baseline ledger (JSONL)")
+    p_diff.add_argument("new", help="candidate ledger (JSONL)")
+    p_diff.add_argument("--warn-margin", type=float, default=0.25,
+                        help="warn band margin over 1.0 before noise "
+                             "widening (default %(default)s)")
+    p_diff.add_argument("--fail-ratio", type=float, default=2.0,
+                        help="hard-fail ratio, never narrowed by noise "
+                             "(default %(default)sx)")
+    p_diff.add_argument("--noise-z", type=float, default=3.0,
+                        help="how many baseline CVs widen the warn band "
+                             "(default %(default)s)")
+    p_diff.add_argument("--min-seconds", type=float, default=1e-4,
+                        help="stages with baseline mean below this are "
+                             "info-only (default %(default)s)")
+    p_diff.add_argument("--csv", action="store_true",
+                        help="emit CSV instead of the text table")
+
+    p_flame = obs_sub.add_parser(
+        "flame", help="run one pricing job under the sampling profiler and "
+                      "write flamegraph collapsed stacks")
+    p_flame.add_argument("--engine",
+                         choices=default_registry().names(traceable=True),
+                         default="mc")
+    p_flame.add_argument("--p", type=int, default=4,
+                         help="simulated processor count")
+    p_flame.add_argument("--paths", type=int, default=100_000)
+    p_flame.add_argument("--steps", type=int, default=64)
+    p_flame.add_argument("--grid", type=int, default=64)
+    p_flame.add_argument("--seed", type=int, default=0)
+    p_flame.add_argument("--interval-ms", type=float, default=2.0,
+                         help="sampling interval (default %(default)s ms)")
+    p_flame.add_argument("--repeat", type=int, default=3,
+                         help="price this many times to accumulate samples")
+    p_flame.add_argument("--out", default="trace_out/profile.collapsed",
+                         help="collapsed-stack output path (flamegraph.pl / "
+                              "speedscope input)")
     return parser
 
 
@@ -460,10 +522,90 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    if args.obs_command == "report":
+        return _cmd_obs_report(args)
+    if args.obs_command == "diff":
+        return _cmd_obs_diff(args)
+    return _cmd_obs_flame(args)
+
+
+def _render(table, as_csv: bool) -> None:
+    if as_csv:
+        from repro.perf.reporting import table_to_csv
+
+        print(table_to_csv(table), end="")
+    else:
+        print(table.render())
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    from repro.errors import ValidationError
+    from repro.obs import read_ledger, report_table, summarize_ledger
+
+    try:
+        stats = summarize_ledger(read_ledger(args.ledger))
+    except ValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _render(report_table(stats, title=f"run-ledger summary — {args.ledger}"),
+            args.csv)
+    return 0
+
+
+def _cmd_obs_diff(args: argparse.Namespace) -> int:
+    from repro.errors import ValidationError
+    from repro.obs import diff_ledgers, diff_table, read_ledger
+
+    try:
+        entries = diff_ledgers(read_ledger(args.base), read_ledger(args.new),
+                               warn_margin=args.warn_margin,
+                               fail_ratio=args.fail_ratio,
+                               noise_z=args.noise_z,
+                               min_seconds=args.min_seconds)
+    except ValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _render(diff_table(entries, title=f"{args.base} -> {args.new}"), args.csv)
+    n_fail = sum(1 for e in entries if e.status == "fail")
+    n_warn = sum(1 for e in entries if e.status == "warn")
+    print(f"diff     : {len(entries)} stages compared, {n_warn} warnings, "
+          f"{n_fail} failures")
+    for e in entries:
+        if e.status in ("fail", "warn"):
+            print(f"  {e.status.upper()} {e}")
+    return 1 if n_fail else 0
+
+
+def _cmd_obs_flame(args: argparse.Namespace) -> int:
+    from repro.obs import SamplingProfiler
+
+    spec = default_registry().get(args.engine)
+    w, pricer = spec.trace(args, faults=None, policy=None, tracer=None,
+                           backend=None)
+    prof = SamplingProfiler(args.interval_ms / 1e3)
+    pricer.profiler = prof
+    result = None
+    for _ in range(max(args.repeat, 1)):
+        result = pricer.price(w.model, w.payoff, w.expiry, args.p)
+    prof.stop()
+    path = prof.write_collapsed(args.out)
+    print(f"engine   : {args.engine} — {w.name}, P={args.p}, "
+          f"{args.repeat} run(s)")
+    print(f"price    : {result.price:.6f} ± {result.stderr:.6f}")
+    print(f"samples  : {prof.n_samples} at {args.interval_ms:g} ms "
+          f"({len(prof.samples)} distinct stacks)")
+    for stack, count in prof.top(5):
+        leaf = stack.rsplit(";", 1)[-1]
+        print(f"  {count:6d}  {leaf}  [{stack.split(';', 1)[0]}]")
+    print(f"collapsed: {path} (flamegraph.pl / speedscope input)")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import time
 
-    from repro.obs import MetricsRegistry
+    from repro.obs import MetricsRegistry, RunLedger
     from repro.parallel.backends import make_backend
     from repro.serve import PriceCache, PricingRequest, PricingService
     from repro.utils import Table
@@ -501,31 +643,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     metrics = MetricsRegistry()
     cache = PriceCache(args.cache) if args.cache > 0 else None
     backend = make_backend(args.backend, args.workers)
+    ledger = RunLedger(args.ledger) if args.ledger else None
     table = Table(["pass", "req/s", "batches", "map calls", "hit rate",
-                   "book value"],
+                   "p50 [ms]", "p99 [ms]", "book value"],
                   title=(f"{args.requests} requests ({args.contracts} distinct "
                          f"{args.book}) — {args.backend} backend, "
                          f"batch={args.batch}, chunksize={args.chunksize}"
                          + (", batched strips" if args.batched else "")),
                   floatfmt=".4g")
+    latency = metrics.histogram("serve.batch_latency_s")
     try:
         with PricingService(backend, cache=cache, max_batch=args.batch,
                             chunksize=chunksize, metrics=metrics,
-                            batched=args.batched,
+                            batched=args.batched, ledger=ledger,
                             min_strip=args.min_strip) as svc:
-            batches0 = maps0 = hits0 = lookups0 = 0
+            batches0 = maps0 = 0
+            hits0 = lookups0 = 0.0
             for rep in range(max(args.repeat, 1)):
                 t0 = time.perf_counter()
                 quotes = svc.price_many(requests)
                 wall = time.perf_counter() - t0
                 batches = svc._batcher.batches_cut
                 maps = svc.map_calls
-                hits = cache.hits if cache is not None else 0
-                lookups = (cache.hits + cache.misses) if cache is not None else 0
+                # Hit rate comes from the metrics registry (the cache
+                # feeds serve.cache_hits / serve.cache_misses counters).
+                hits = metrics.counter("serve.cache_hits").value
+                lookups = hits + metrics.counter("serve.cache_misses").value
                 rate = ((hits - hits0) / (lookups - lookups0)
                         if lookups > lookups0 else 0.0)
                 table.add_row([f"{rep + 1}", len(quotes) / max(wall, 1e-9),
                                batches - batches0, maps - maps0, rate,
+                               latency.quantile(0.5) * 1e3,
+                               latency.quantile(0.99) * 1e3,
                                sum(q.price for q in quotes)])
                 batches0, maps0, hits0, lookups0 = batches, maps, hits, lookups
     finally:
@@ -539,6 +688,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         fused = metrics.histogram("serve.strip_contracts").total
         print(f"strips   : {strips:.0f} fused strips covering {fused:.0f} "
               f"contracts")
+    if ledger is not None:
+        print(f"ledger   : {ledger.appended} batch records -> {ledger.path}")
     return 0
 
 
@@ -557,6 +708,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_verify(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     return _cmd_portfolio(args)
 
 

@@ -19,8 +19,19 @@ engine's stages:
    reduction, which travels the modeled machine's schedule;
 5. **report middleware** — the runner assembles the
    :class:`~repro.engine.result.ParallelRunResult` from the cluster
-   report, attaches the recorded cluster when asked, and feeds the
-   optional :class:`~repro.obs.metrics.MetricsRegistry`.
+   report, attaches the recorded cluster when asked, feeds the optional
+   :class:`~repro.obs.metrics.MetricsRegistry`, and appends one
+   :class:`~repro.obs.ledger.RunRecord` (per-stage wall timings, fault
+   tallies, ``run_id``) to the configured or ambient run ledger.
+
+Observability attachments follow one idiom — plain attribute assignment
+on the engine config: ``pricer.tracer = Tracer()``,
+``pricer.ledger = RunLedger(path)``, ``pricer.profiler =
+SamplingProfiler()``. Each costs a single ``getattr`` when absent. When a
+ledger or tracer is active the runner mints a ``run_id`` and threads it
+into :func:`~repro.parallel.faults.resilient_map`, so fault/retry trace
+instants, the :class:`~repro.parallel.faults.RunReport` and the ledger
+row all correlate.
 
 Because the middleware only *wraps* the engine's arithmetic (it never
 reorders it), a pricer ported onto the pipeline produces bitwise-identical
@@ -30,7 +41,9 @@ determinism checks gate on.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence, Tuple
+import time
+from contextlib import nullcontext
+from typing import Any, ContextManager, List, Optional, Sequence, Tuple
 
 from repro.engine.pipeline import (
     Estimate,
@@ -41,12 +54,30 @@ from repro.engine.pipeline import (
 )
 from repro.engine.result import ParallelRunResult
 from repro.errors import ValidationError
+from repro.obs.ledger import active_ledger, new_run_id, record_from_result
 from repro.parallel.backends import SerialBackend
 from repro.parallel.faults import FaultPolicy, resilient_map, simulate_recovery
 from repro.parallel.simcluster import SimulatedCluster
 from repro.perf.timer import Timer
 
 __all__ = ["run_pipeline", "run_engine", "run_strip"]
+
+
+def _ledger_for(cfg: Any) -> Any:
+    """The run ledger for a config: explicit attribute wins, else ambient."""
+    ledger = getattr(cfg, "ledger", None)
+    if ledger is None:
+        ledger = active_ledger()
+    return ledger
+
+
+def _profile_ctx(cfg: Any, label: str) -> ContextManager[Any]:
+    """The execute-stage profiler context (no-op unless one is attached)."""
+    profiler = getattr(cfg, "profiler", None)
+    if profiler is None:
+        return nullcontext()
+    ctx: ContextManager[Any] = profiler.profile(label)
+    return ctx
 
 
 def run_pipeline(
@@ -62,14 +93,22 @@ def run_pipeline(
     extras (e.g. the greeks arrays) use this and read ``estimate.extras``.
     """
     cfg = engine.config
+    ledger = _ledger_for(cfg)
+    stages: dict[str, float] = {}
+
+    t0 = time.perf_counter()
     plan = engine.plan(PricingJob(model=model, payoff=payoff,
                                   expiry=expiry, p=p))
+    t1 = time.perf_counter()
     tasks = engine.partition(plan)
+    stages["plan"] = t1 - t0
+    stages["partition"] = time.perf_counter() - t1
 
     faults = getattr(cfg, "faults", None)
     policy: FaultPolicy = getattr(cfg, "policy", None) or FaultPolicy.parse(None)
     tracer = getattr(cfg, "tracer", None)
     record = bool(getattr(cfg, "record", False))
+    run_id = new_run_id() if (ledger is not None or tracer is not None) else None
     cluster = SimulatedCluster(plan.p, cfg.spec, record=record,
                                faults=faults, tracer=tracer)
     ctx = PipelineContext(cluster=cluster, tracer=tracer, timer=Timer())
@@ -83,11 +122,12 @@ def run_pipeline(
         payloads = [task.payload for task in tasks]
         assert engine.worker is not None, f"{engine.name} engine has no worker"
         inject = faults is not None and not faults.is_empty
-        with ctx.timer:
+        with ctx.timer, _profile_ctx(cfg, f"{engine.name}.execute"):
             if inject:
                 state, fault_report = resilient_map(
                     backend, engine.worker, payloads,
                     plan=faults, policy=policy, chunksize=chunksize,
+                    run_id=run_id,
                 )
             else:
                 # Fault-free fast path: identical to the pre-resilience
@@ -100,14 +140,19 @@ def run_pipeline(
         # Inline engine: the arithmetic is the sequential reference, so
         # faults stretch the simulated timeline only (recovery is charged
         # after the compute loops, and rank loss raises).
-        with ctx.timer:
+        with ctx.timer, _profile_ctx(cfg, f"{engine.name}.execute"):
             state = engine.execute(plan, ctx)
         fault_report = simulate_recovery(cluster, faults, policy,
                                          engine=engine.name)
+    stages["execute"] = ctx.timer.elapsed
 
+    t2 = time.perf_counter()
     estimate = engine.reduce(plan, state, ctx, fault_report)
+    t3 = time.perf_counter()
     rep = cluster.report()
     meta = engine.report(plan, estimate, ctx, fault_report)
+    stages["reduce"] = t3 - t2
+    stages["report"] = time.perf_counter() - t3
     if record:
         meta["cluster"] = cluster
 
@@ -133,6 +178,10 @@ def run_pipeline(
             result.wall_time)
         metrics.histogram("engine.sim_s", engine=engine.name).observe(
             result.sim_time)
+    if ledger is not None:
+        ledger.append(record_from_result(
+            result, run_id=run_id or new_run_id(), kind="engine",
+            config=cfg, stages=stages, fault_report=fault_report))
     return result, estimate
 
 
@@ -177,14 +226,22 @@ def run_strip(
             f"EngineCapabilities.batchable"
         )
     cfg = engine.config
+    ledger = _ledger_for(cfg)
+    stages: dict[str, float] = {}
+
+    t0 = time.perf_counter()
     job = StripJob.from_payoffs(model, payoffs, expiry, p)
     plan = engine.plan_strip(job)
+    t1 = time.perf_counter()
     tasks = engine.partition(plan)
+    stages["plan"] = t1 - t0
+    stages["partition"] = time.perf_counter() - t1
 
     faults = getattr(cfg, "faults", None)
     policy: FaultPolicy = getattr(cfg, "policy", None) or FaultPolicy.parse(None)
     tracer = getattr(cfg, "tracer", None)
     record = bool(getattr(cfg, "record", False))
+    run_id = new_run_id() if (ledger is not None or tracer is not None) else None
     cluster = SimulatedCluster(plan.p, cfg.spec, record=record,
                                faults=faults, tracer=tracer)
     ctx = PipelineContext(cluster=cluster, tracer=tracer, timer=Timer())
@@ -198,11 +255,12 @@ def run_strip(
         assert engine.strip_worker is not None, (
             f"{engine.name} engine has no strip worker")
         inject = faults is not None and not faults.is_empty
-        with ctx.timer:
+        with ctx.timer, _profile_ctx(cfg, f"{engine.name}.execute_strip"):
             if inject:
                 state, fault_report = resilient_map(
                     backend, engine.strip_worker, payloads,
                     plan=faults, policy=policy, chunksize=chunksize,
+                    run_id=run_id,
                 )
             else:
                 state = backend.map(engine.strip_worker, payloads,
@@ -210,12 +268,15 @@ def run_strip(
                 fault_report = None
         engine.account(plan, ctx, fault_report)
     else:
-        with ctx.timer:
+        with ctx.timer, _profile_ctx(cfg, f"{engine.name}.execute_strip"):
             state = engine.execute_strip(plan, ctx)
         fault_report = simulate_recovery(cluster, faults, policy,
                                          engine=engine.name)
+    stages["execute"] = ctx.timer.elapsed
 
+    t2 = time.perf_counter()
     estimates = engine.reduce_strip(plan, state, ctx, fault_report)
+    stages["reduce"] = time.perf_counter() - t2
     rep = cluster.report()
     results: List[ParallelRunResult] = []
     for index, estimate in enumerate(estimates):
@@ -247,4 +308,9 @@ def run_strip(
             ctx.timer.elapsed)
         metrics.histogram("engine.sim_s", engine=engine.name).observe(
             rep["elapsed"])
+    if ledger is not None and results:
+        ledger.append(record_from_result(
+            results[0], run_id=run_id or new_run_id(), kind="strip",
+            config=cfg, stages=stages, fault_report=fault_report,
+            extra={"contracts": len(results)}))
     return results

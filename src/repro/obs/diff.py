@@ -1,0 +1,216 @@
+"""Ledger analysis: per-engine/per-stage summaries and regression diffs.
+
+The consumer side of :mod:`repro.obs.ledger`. Two operations:
+
+* :func:`summarize_ledger` — collapse a ledger's records into per-
+  ``(kind, engine, stage)`` timing statistics (count, mean, p50/p99 via
+  the quantile :class:`~repro.obs.metrics.Histogram`, coefficient of
+  variation).
+* :func:`diff_ledgers` — compare two summaries stage by stage with
+  **noise-aware tolerance bands**: a stage's warn band widens with the
+  baseline's observed run-to-run noise (``1 + warn_margin + z·cv``), so a
+  stage that already jitters 30% between identical runs does not page
+  anyone at 1.3x — while the *fail* band is an absolute ratio (default
+  2x) that no amount of measured noise excuses. Sub-resolution stages
+  (mean below ``min_seconds``) are reported but never warned/failed:
+  microsecond stages are all noise.
+
+Exit-code policy (used by ``repro obs diff``): ``fail`` entries →
+nonzero; ``warn`` entries alone → zero but printed loudly. Diffing a
+ledger against itself yields ratio 1.0 everywhere and is silent.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.errors import ValidationError
+from repro.obs.ledger import RunRecord
+from repro.obs.metrics import Histogram
+from repro.utils.formatting import Table
+
+__all__ = [
+    "StageStats",
+    "DiffEntry",
+    "summarize_ledger",
+    "diff_ledgers",
+    "report_table",
+    "diff_table",
+]
+
+
+@dataclass
+class StageStats:
+    """Timing distribution of one (kind, engine, stage) across records."""
+
+    kind: str
+    engine: str
+    stage: str
+    histogram: Histogram = field(default_factory=Histogram)
+
+    @property
+    def count(self) -> int:
+        return self.histogram.count
+
+    @property
+    def mean(self) -> float:
+        return self.histogram.mean
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation — the stage's observed relative noise."""
+        return self.histogram.std / self.mean if self.mean > 0 else 0.0
+
+    def quantile(self, q: float) -> float:
+        return self.histogram.quantile(q)
+
+
+def _key(record: RunRecord, stage: str) -> tuple[str, str, str]:
+    return (record.kind, record.engine, stage)
+
+
+def summarize_ledger(records: Iterable[RunRecord]) -> dict[tuple[str, str, str],
+                                                           StageStats]:
+    """Per-(kind, engine, stage) stats over a ledger, plus a ``wall`` row
+    per (kind, engine) so coarse totals diff even for stage-less records."""
+    out: dict[tuple[str, str, str], StageStats] = {}
+
+    def _observe(key: tuple[str, str, str], seconds: float) -> None:
+        stats = out.get(key)
+        if stats is None:
+            stats = out[key] = StageStats(kind=key[0], engine=key[1],
+                                          stage=key[2])
+        stats.histogram.observe(seconds)
+
+    n = 0
+    for record in records:
+        n += 1
+        for stage, seconds in record.stages.items():
+            _observe(_key(record, stage), seconds)
+        _observe(_key(record, "wall"), record.wall_s)
+    if n == 0:
+        raise ValidationError("ledger holds no records to summarize")
+    return out
+
+
+@dataclass(frozen=True)
+class DiffEntry:
+    """One stage's baseline-vs-candidate comparison."""
+
+    kind: str
+    engine: str
+    stage: str
+    base_mean: float
+    new_mean: float
+    base_cv: float
+    warn_band: float          # ratio above which this stage warns
+    fail_band: float          # ratio above which this stage fails
+    status: str               # "ok" | "info" | "warn" | "fail"
+
+    @property
+    def ratio(self) -> float:
+        if self.base_mean <= 0.0:
+            return math.inf if self.new_mean > 0.0 else 1.0
+        return self.new_mean / self.base_mean
+
+    def __str__(self) -> str:
+        return (f"{self.kind}/{self.engine}/{self.stage}: "
+                f"{self.base_mean:.4g}s -> {self.new_mean:.4g}s "
+                f"({self.ratio:.2f}x, warn>{self.warn_band:.2f}x, "
+                f"fail>{self.fail_band:.2f}x) [{self.status}]")
+
+
+def diff_ledgers(base: Iterable[RunRecord], new: Iterable[RunRecord], *,
+                 warn_margin: float = 0.25, fail_ratio: float = 2.0,
+                 noise_z: float = 3.0,
+                 min_seconds: float = 1e-4) -> list[DiffEntry]:
+    """Stage-by-stage regression check of ``new`` against ``base``.
+
+    Band construction per stage:
+
+    * ``warn_band = 1 + warn_margin + noise_z * base_cv`` — the noise-aware
+      part: baseline jitter (coefficient of variation across the baseline's
+      own records) widens the warning threshold, so only movement *outside*
+      the stage's demonstrated noise warns.
+    * ``fail_band = fail_ratio`` — the hard gate; defaults to 2x, the
+      "this is not noise" line the CI perf job enforces. Deliberately
+      **not** widened by noise: a stage noisy enough to jitter past 2x
+      between identical runs is a regression in itself.
+
+    Stages present in only one ledger, and stages whose baseline mean is
+    below ``min_seconds``, are reported as ``info`` — visible, never fatal.
+    """
+    if warn_margin < 0:
+        raise ValidationError(f"warn_margin must be >= 0, got {warn_margin}")
+    if fail_ratio <= 1.0:
+        raise ValidationError(f"fail_ratio must exceed 1, got {fail_ratio}")
+    base_stats = summarize_ledger(base)
+    new_stats = summarize_ledger(new)
+    entries: list[DiffEntry] = []
+    for key in sorted(set(base_stats) | set(new_stats)):
+        b = base_stats.get(key)
+        n = new_stats.get(key)
+        kind, engine, stage = key
+        if b is None or n is None:
+            entries.append(DiffEntry(
+                kind, engine, stage,
+                base_mean=b.mean if b else 0.0,
+                new_mean=n.mean if n else 0.0,
+                base_cv=b.cv if b else 0.0,
+                warn_band=math.inf, fail_band=math.inf, status="info"))
+            continue
+        warn_band = 1.0 + warn_margin + noise_z * b.cv
+        fail_band = fail_ratio
+        if b.mean < min_seconds:
+            status = "info"   # sub-resolution: all noise, never gate on it
+        else:
+            ratio = n.mean / b.mean if b.mean > 0 else math.inf
+            if ratio >= fail_band:
+                status = "fail"
+            elif ratio >= warn_band:
+                status = "warn"
+            else:
+                status = "ok"
+        entries.append(DiffEntry(kind, engine, stage, base_mean=b.mean,
+                                 new_mean=n.mean, base_cv=b.cv,
+                                 warn_band=warn_band, fail_band=fail_band,
+                                 status=status))
+    return entries
+
+
+# ---------------------------------------------------------------------------
+# Terminal rendering.
+# ---------------------------------------------------------------------------
+
+
+def report_table(stats: dict[tuple[str, str, str], StageStats], *,
+                 title: str = "run-ledger summary") -> Table:
+    """Per-stage table: runs, mean, p50, p99, max and relative noise."""
+    table = Table(["kind", "engine", "stage", "runs", "mean [s]", "p50 [s]",
+                   "p99 [s]", "max [s]", "cv"],
+                  title=title, floatfmt=".4g")
+    for key in sorted(stats):
+        s = stats[key]
+        table.add_row([s.kind, s.engine, s.stage, s.count, s.mean,
+                       s.quantile(0.5), s.quantile(0.99),
+                       s.histogram.max if s.count else 0.0, s.cv])
+    return table
+
+
+def diff_table(entries: Sequence[DiffEntry], *,
+               title: str = "ledger diff") -> Table:
+    """Baseline-vs-candidate table, regressions first."""
+    order = {"fail": 0, "warn": 1, "ok": 2, "info": 3}
+    table = Table(["status", "kind", "engine", "stage", "base [s]",
+                   "new [s]", "ratio", "warn band", "fail band"],
+                  title=title, floatfmt=".4g")
+    for e in sorted(entries, key=lambda e: (order[e.status], e.kind,
+                                            e.engine, e.stage)):
+        table.add_row([e.status, e.kind, e.engine, e.stage, e.base_mean,
+                       e.new_mean,
+                       e.ratio if math.isfinite(e.ratio) else float("inf"),
+                       e.warn_band if math.isfinite(e.warn_band) else float("inf"),
+                       e.fail_band if math.isfinite(e.fail_band) else float("inf")])
+    return table

@@ -65,16 +65,55 @@ class Gauge:
         return self.value
 
 
+#: Log-spaced bucket geometry: 4 buckets per octave (bucket boundaries at
+#: ``2**(i/4)``, ~19% wide), clamped to ``[2**-30, 2**30)`` seconds — wide
+#: enough for sub-nanosecond task latencies up to year-long walls. The
+#: geometry is FIXED (not adaptive), so two histograms filled on different
+#: ranks/workers bucket identically and merge exactly.
+_BUCKETS_PER_OCTAVE = 4
+_MIN_BUCKET = -30 * _BUCKETS_PER_OCTAVE
+_MAX_BUCKET = 30 * _BUCKETS_PER_OCTAVE
+#: Sentinel bucket for non-positive observations (log-undefined).
+_NONPOS_BUCKET = _MIN_BUCKET - 1
+
+
+def _bucket_index(value: float) -> int:
+    """Fixed log-spaced bucket index for a positive observation."""
+    idx = math.floor(math.log2(value) * _BUCKETS_PER_OCTAVE)
+    return max(_MIN_BUCKET, min(idx, _MAX_BUCKET))
+
+
+def _bucket_bounds(idx: int) -> tuple[float, float]:
+    """The ``[lo, hi)`` value range bucket ``idx`` covers."""
+    if idx == _NONPOS_BUCKET:
+        return 0.0, 0.0
+    return (2.0 ** (idx / _BUCKETS_PER_OCTAVE),
+            2.0 ** ((idx + 1) / _BUCKETS_PER_OCTAVE))
+
+
 class Histogram:
     """Streaming distribution summary (task latency, per-rank seconds).
 
-    Keeps running moments rather than samples, so observing is O(1) and a
-    snapshot is ``{count, sum, min, max, mean, std}`` (sample std, 0 for
-    fewer than two observations).
+    Observing is O(1): running moments (count/sum/sumsq/min/max) plus one
+    increment into **fixed log-spaced buckets** (see ``_BUCKETS_PER_OCTAVE``)
+    from which :meth:`quantile` estimates p50/p90/p99/p999 by cumulative
+    rank with linear interpolation inside the hit bucket, clamped to the
+    observed ``[min, max]``.
+
+    Because the bucket geometry is fixed, histograms are **mergeable**:
+    :meth:`merge` adds another histogram's counts in, and the merged
+    quantiles are *exactly* the quantiles of observing every value into one
+    histogram — independent of merge order and observation permutation
+    (bucket counts are integers; asserted by the hypothesis property suite).
+    Snapshots are canonical-JSON stable: buckets render as a sorted
+    ``[index, count]`` list.
     """
 
     kind = "histogram"
-    __slots__ = ("count", "total", "sumsq", "min", "max")
+    __slots__ = ("count", "total", "sumsq", "min", "max", "buckets")
+
+    #: Quantiles every snapshot reports.
+    QUANTILES = ((0.5, "p50"), (0.9, "p90"), (0.99, "p99"), (0.999, "p999"))
 
     def __init__(self):
         self.count = 0
@@ -82,6 +121,7 @@ class Histogram:
         self.sumsq = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self.buckets: dict[int, int] = {}
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -90,6 +130,26 @@ class Histogram:
         self.sumsq += value * value
         self.min = min(self.min, value)
         self.max = max(self.max, value)
+        idx = _bucket_index(value) if value > 0.0 else _NONPOS_BUCKET
+        self.buckets[idx] = self.buckets.get(idx, 0) + 1
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold another histogram's observations into this one (in place).
+
+        Exact for everything rank-based: bucket counts are integers and the
+        geometry is shared, so quantiles of a merge equal quantiles of the
+        union, whatever the merge association.
+        """
+        if not isinstance(other, Histogram):
+            raise ValidationError("Histogram.merge expects a Histogram")
+        self.count += other.count
+        self.total += other.total
+        self.sumsq += other.sumsq
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        for idx, n in other.buckets.items():
+            self.buckets[idx] = self.buckets.get(idx, 0) + n
+        return self
 
     @property
     def mean(self) -> float:
@@ -102,15 +162,47 @@ class Histogram:
         var = (self.sumsq - self.total * self.total / self.count) / (self.count - 1)
         return math.sqrt(max(var, 0.0))
 
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile from the bucket counts.
+
+        Cumulative-rank walk over the sorted buckets; the hit bucket is
+        linearly interpolated and the estimate clamped to the observed
+        ``[min, max]`` (so p999 of a tight distribution never exceeds the
+        true maximum). Returns 0.0 for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValidationError(f"quantile q must lie in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        if q <= 0.0:
+            return self.min
+        if q >= 1.0:
+            return self.max
+        target = q * self.count
+        cum = 0
+        for idx in sorted(self.buckets):
+            n = self.buckets[idx]
+            if cum + n >= target:
+                lo, hi = _bucket_bounds(idx)
+                est = lo + (hi - lo) * ((target - cum) / n)
+                return min(max(est, self.min), self.max)
+            cum += n
+        return self.max  # pragma: no cover - rank always lands in a bucket
+
     def snapshot(self) -> dict:
-        return {
+        snap = {
             "count": self.count,
             "sum": self.total,
             "min": self.min if self.count else 0.0,
             "max": self.max if self.count else 0.0,
             "mean": self.mean,
             "std": self.std,
+            "buckets": [[idx, self.buckets[idx]]
+                        for idx in sorted(self.buckets)],
         }
+        for q, name in self.QUANTILES:
+            snap[name] = self.quantile(q)
+        return snap
 
 
 def _series_key(name: str, labels: dict) -> str:

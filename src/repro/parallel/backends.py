@@ -91,10 +91,27 @@ class ChunkAutotuner:
     ``target_overhead`` of the chunk's compute time — capped at
     ``ceil(n / workers)`` so every worker still receives work.
 
+    **Straggler feedback (the obs → autotuner loop).** Mean per-task cost
+    says nothing about *dispersion*: a workload whose p99 task latency is
+    10x its p50 (injected stragglers, noisy neighbours) wants *small*
+    chunks, because a big chunk welds fast tasks to a slow one and the
+    whole map waits on that chunk. :meth:`observe_quantiles` (or
+    :meth:`observe_histogram`, fed straight from the metrics registry's
+    ``task_latency`` histogram) folds the observed p99/p50 ratio into a
+    smoothed dispersion factor that divides the chosen chunk size —
+    uniform workloads (ratio ≈ 1) keep the IPC-amortizing chunks, skewed
+    ones shrink toward chunk 1 so the pool's dynamic scheduling can route
+    around the slow tasks. Chunking is transport-only, so the adapted
+    chunk size never changes prices (benchmark F16 asserts bitwise
+    equality while measuring the wall-clock win).
+
     Deliberately deterministic given its observation history: the same
-    sequence of (n_tasks, wall) observations always yields the same chunk
-    sizes.
+    sequence of observations always yields the same chunk sizes.
     """
+
+    #: p99/p50 ratios are clamped here so one pathological straggler
+    #: cannot collapse chunking forever (2 decades of skew is plenty).
+    DISPERSION_CAP = 16.0
 
     def __init__(self, workers: int, *, ipc_cost_s: float = 2e-4,
                  target_overhead: float = 0.05, oversubscribe: int = 4,
@@ -107,11 +124,17 @@ class ChunkAutotuner:
             raise ValidationError(f"smoothing must lie in (0, 1], got {smoothing}")
         self.smoothing = float(smoothing)
         self._per_task_s: float | None = None
+        self._dispersion = 1.0
 
     @property
     def per_task_seconds(self) -> float | None:
         """Current per-task cost estimate (None until first observation)."""
         return self._per_task_s
+
+    @property
+    def dispersion(self) -> float:
+        """Smoothed p99/p50 latency ratio (1.0 = uniform workload)."""
+        return self._dispersion
 
     def chunksize(self, n_tasks: int) -> int:
         """Chunk size for a map over ``n_tasks`` tasks."""
@@ -119,15 +142,19 @@ class ChunkAutotuner:
             return 1
         base = suggest_chunksize(n_tasks, self.workers,
                                  oversubscribe=self.oversubscribe)
-        if not self._per_task_s or self._per_task_s <= 0.0:
-            return base
-        # Smallest chunk whose dispatch cost is < target_overhead of its
-        # compute: ipc <= overhead * chunk * per_task.
-        amortized = math.ceil(
-            self.ipc_cost_s / (self._per_task_s * self.target_overhead)
-        )
-        balance_cap = max(1, math.ceil(n_tasks / self.workers))
-        return int(min(max(base, amortized), balance_cap))
+        if self._per_task_s and self._per_task_s > 0.0:
+            # Smallest chunk whose dispatch cost is < target_overhead of
+            # its compute: ipc <= overhead * chunk * per_task.
+            amortized = math.ceil(
+                self.ipc_cost_s / (self._per_task_s * self.target_overhead)
+            )
+            balance_cap = max(1, math.ceil(n_tasks / self.workers))
+            chunk = int(min(max(base, amortized), balance_cap))
+        else:
+            chunk = base
+        if self._dispersion > 1.0:
+            chunk = max(1, int(chunk / self._dispersion))
+        return chunk
 
     def observe(self, n_tasks: int, wall_seconds: float) -> None:
         """Feed back one completed map's size and wall-clock seconds."""
@@ -139,6 +166,27 @@ class ChunkAutotuner:
         else:
             s = self.smoothing
             self._per_task_s = (1.0 - s) * self._per_task_s + s * sample
+
+    def observe_quantiles(self, p50: float, p99: float) -> None:
+        """Feed back observed per-task latency quantiles.
+
+        The p99/p50 ratio (clamped to ``[1, DISPERSION_CAP]``) is folded
+        into the smoothed dispersion factor that divides future chunk
+        sizes. Non-positive quantiles are ignored (empty histogram).
+        """
+        if p50 <= 0.0 or p99 <= 0.0:
+            return
+        raw = max(1.0, min(p99 / p50, self.DISPERSION_CAP))
+        s = self.smoothing
+        self._dispersion = (1.0 - s) * self._dispersion + s * raw
+
+    def observe_histogram(self, histogram) -> None:
+        """Feed back a latency :class:`~repro.obs.metrics.Histogram`
+        (typically the registry's ``task_latency`` for this backend)."""
+        if getattr(histogram, "count", 0) <= 0:
+            return
+        self.observe_quantiles(histogram.quantile(0.5),
+                               histogram.quantile(0.99))
 
 
 class _ChunkCall:

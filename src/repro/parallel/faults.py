@@ -309,12 +309,20 @@ class RunReport:
     Rendered by :func:`repro.perf.reporting.run_report_to_markdown`; the
     simulated engines attach it to ``ParallelRunResult.meta["fault_report"]``
     so fault-annotated timelines and tables can be produced after the fact.
+
+    ``run_id`` correlates this report with the obs layer: the pipeline
+    runner passes the same id into the run's ledger record and the
+    tracer's fault/retry instants, so a retried task in a trace joins to
+    its ledger row. Like wall ``duration``, it is excluded from the
+    canonical serialization — two replays of one (plan, policy) must stay
+    byte-identical even though each replay gets a fresh id.
     """
 
     p: int
     mode: str
     attempts: tuple[RankAttempt, ...] = ()
     lost_ranks: tuple[int, ...] = ()
+    run_id: str | None = None
 
     @property
     def n_retries(self) -> int:
@@ -340,8 +348,9 @@ class RunReport:
         return tuple(a for a in self.attempts if a.rank == rank)
 
     def to_dict(self, *, include_timings: bool = False) -> dict:
-        """Stable dict form; wall timings are opt-in because they vary
-        run-to-run while everything else must be byte-identical."""
+        """Stable dict form; wall timings are opt-in (and ``run_id`` is
+        excluded) because they vary run-to-run while everything else must
+        be byte-identical."""
         attempts = []
         for a in sorted(self.attempts, key=lambda x: (x.rank, x.attempt)):
             rec = {
@@ -407,7 +416,8 @@ def _guarded_call(args):
 
 def resilient_map(backend, worker, tasks, *, plan: FaultPlan | None = None,
                   policy: FaultPolicy | str | None = None, tracer=None,
-                  chunksize: int | str | None = None):
+                  chunksize: int | str | None = None,
+                  run_id: str | None = None):
     """Map ``worker`` over ``tasks`` with fault injection and recovery.
 
     Returns ``(results, report)`` where ``results[r]`` is rank r's value
@@ -426,6 +436,11 @@ def resilient_map(backend, worker, tasks, *, plan: FaultPlan | None = None,
     the chunking, so a chunked recovered run still equals the fault-free
     run bitwise.
 
+    ``run_id`` (optional) is stamped onto the returned
+    :class:`RunReport` and every fault/retry/degrade instant event, so
+    traces and the run ledger correlate by id. It never enters the
+    report's canonical serialization.
+
     Raises :class:`FaultError` under ``fail_fast`` on the first fault,
     under ``retry`` on exhaustion, and under ``degrade`` when no rank
     survives.
@@ -440,6 +455,7 @@ def resilient_map(backend, worker, tasks, *, plan: FaultPlan | None = None,
     lost: list[int] = []
     pending = list(range(n))
     attempt_no = {r: 0 for r in pending}
+    idargs = {"run_id": run_id} if run_id else {}
 
     while pending:
         batch = []
@@ -469,7 +485,7 @@ def resilient_map(backend, worker, tasks, *, plan: FaultPlan | None = None,
                                         backoff=policy.backoff_for(k),
                                         duration=dt))
             if tracer:
-                tracer.instant("fault", rank=r, kind=kind, attempt=k)
+                tracer.instant("fault", rank=r, kind=kind, attempt=k, **idargs)
             if policy.mode == "fail_fast":
                 raise FaultError(
                     f"rank {r} failed ({kind}: {detail}) under fail_fast policy"
@@ -482,12 +498,12 @@ def resilient_map(backend, worker, tasks, *, plan: FaultPlan | None = None,
                     )
                 lost.append(r)  # degrade: drop the rank
                 if tracer:
-                    tracer.instant("degrade", rank=r, attempts=k + 1)
+                    tracer.instant("degrade", rank=r, attempts=k + 1, **idargs)
             else:
                 attempt_no[r] = k + 1
                 retry_ranks.append(r)
                 if tracer:
-                    tracer.instant("retry", rank=r, attempt=k + 1)
+                    tracer.instant("retry", rank=r, attempt=k + 1, **idargs)
 
         if retry_ranks and policy.backoff_base > 0.0:
             time.sleep(max(policy.backoff_for(attempt_no[r]) for r in retry_ranks))
@@ -499,6 +515,7 @@ def resilient_map(backend, worker, tasks, *, plan: FaultPlan | None = None,
         p=n, mode=policy.mode,
         attempts=tuple(sorted(attempts, key=lambda a: (a.rank, a.attempt))),
         lost_ranks=tuple(sorted(lost)),
+        run_id=run_id,
     )
     return results, report
 

@@ -40,6 +40,13 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 
 from repro.errors import ValidationError
+from repro.obs.ledger import (
+    RunRecord,
+    active_ledger,
+    config_digest,
+    git_sha,
+    new_run_id,
+)
 from repro.parallel.backends import ChunkAutotuner, ExecutionBackend, SerialBackend
 from repro.serve.batching import Batch, Batcher, PricingRequest, request_key
 from repro.serve.cache import PriceCache
@@ -106,7 +113,13 @@ class PricingService:
         bitwise equal in price/stderr to the single path — only
         ``sim_time`` reflects the fused run's amortized cost.
     min_strip : smallest miss group worth fusing (``batched`` only).
-    metrics : optional :class:`~repro.obs.MetricsRegistry`.
+    metrics : optional :class:`~repro.obs.MetricsRegistry`. Also attached
+        to the backend (when the backend has none of its own) so the
+        per-task ``task_latency{backend=...}`` histogram fills — the
+        source the autotuner's straggler feedback reads.
+    ledger : optional :class:`~repro.obs.RunLedger`; defaults to the
+        ambient ledger (``$REPRO_LEDGER``). Each executed batch appends
+        one ``kind="serve"`` record.
     clock : injectable monotonic clock for deadline tests.
     """
 
@@ -115,22 +128,32 @@ class PricingService:
                  max_wait_s: float | None = None,
                  chunksize: int | str | None = "auto",
                  batched: bool = False, min_strip: int = 2,
-                 metrics=None, clock: Callable[[], float] | None = None):
+                 metrics=None, ledger=None,
+                 clock: Callable[[], float] | None = None):
         self._owns_backend = backend is None
         self.backend = backend if backend is not None else SerialBackend()
         self.cache = cache
         self.metrics = metrics
+        self.ledger = ledger
         self.chunksize = chunksize
         self.batched = bool(batched)
         self.min_strip = min_strip
         if cache is not None and metrics is not None and cache.metrics is None:
             cache.metrics = metrics
+        if metrics is not None and getattr(self.backend, "metrics", None) is None:
+            # Feed task_latency{backend=...} — the autotuner's obs source.
+            self.backend.metrics = metrics
         workers = getattr(self.backend, "max_workers", 1)
         self._autotuner = (ChunkAutotuner(workers)
                            if chunksize == "auto" else None)
         self._batcher = Batcher(max_batch=max_batch, max_wait_s=max_wait_s,
                                 clock=clock)
         self._completed: list[tuple[PricingRequest, PriceQuote]] = []
+        self._config_digest = config_digest({
+            "max_batch": max_batch, "max_wait_s": max_wait_s,
+            "chunksize": chunksize, "batched": self.batched,
+            "min_strip": min_strip,
+        })
         #: Number of backend.map calls issued — zero for full-hit replays.
         self.map_calls = 0
 
@@ -233,6 +256,11 @@ class PricingService:
         wall = time.perf_counter() - t0
         if tasks and self._autotuner is not None:
             self._autotuner.observe(len(tasks), wall)
+            if self.metrics is not None:
+                # The obs → autotuner loop: fold the observed per-task
+                # latency dispersion (p99/p50) into future chunk sizes.
+                self._autotuner.observe_histogram(self.metrics.histogram(
+                    "task_latency", backend=self.backend.name))
         if self.metrics is not None:
             self.metrics.counter("serve.requests").inc(n)
             self.metrics.counter("serve.batches").inc()
@@ -242,6 +270,17 @@ class PricingService:
                 sum(len(v) - 1 for v in miss_indices.values()))
             self.metrics.histogram("serve.batch_size").observe(n)
             self.metrics.histogram("serve.batch_latency_s").observe(wall)
+        ledger = self.ledger if self.ledger is not None else active_ledger()
+        if ledger is not None:
+            ledger.append(RunRecord(
+                run_id=new_run_id(), kind="serve", engine="service",
+                config=self._config_digest, backend=self.backend.name,
+                workers=int(getattr(self.backend, "max_workers", 1) or 1),
+                p=len(tasks), stages={"batch": wall}, wall_s=wall,
+                extra={"requests": n, "misses": len(tasks),
+                       "hits": n - sum(len(v) for v in miss_indices.values()),
+                       "map_calls": 1 if tasks else 0},
+                git=git_sha()))
         return list(zip(batch.requests, quotes))
 
     # -- lifecycle ------------------------------------------------------

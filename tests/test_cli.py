@@ -163,6 +163,70 @@ class TestServe:
         assert main(["serve", "--requests", "2", "--chunksize", "bogus"]) == 2
 
 
+def _write_ledger(path, times, engine="mc"):
+    from repro.obs import RunLedger, RunRecord
+
+    ledger = RunLedger(path)
+    for t in times:
+        ledger.append(RunRecord(run_id="0" * 12, kind="engine",
+                                engine=engine, config="c" * 12,
+                                backend="serial", workers=1, p=4,
+                                stages={"execute": t}, wall_s=t))
+    return path
+
+
+class TestObs:
+    def test_report_summarizes_ledger(self, tmp_path, capsys):
+        path = _write_ledger(tmp_path / "runs.jsonl", [0.1, 0.2])
+        code = main(["obs", "report", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "p50 [s]" in out and "mc" in out
+
+    def test_report_missing_ledger_is_exit_2(self, tmp_path, capsys):
+        assert main(["obs", "report", str(tmp_path / "nope.jsonl")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_diff_self_replay_is_quiet(self, tmp_path, capsys):
+        path = _write_ledger(tmp_path / "base.jsonl", [0.1, 0.11, 0.09])
+        code = main(["obs", "diff", str(path), str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 failures" in out
+
+    def test_diff_injected_2x_slowdown_exits_1(self, tmp_path, capsys):
+        base = _write_ledger(tmp_path / "base.jsonl", [0.1, 0.1, 0.1])
+        slow = _write_ledger(tmp_path / "slow.jsonl", [0.2, 0.2, 0.2])
+        code = main(["obs", "diff", str(base), str(slow)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAIL" in out
+
+    def test_flame_writes_collapsed_profile(self, tmp_path, capsys):
+        out_path = tmp_path / "mc.collapsed"
+        code = main(["obs", "flame", "--engine", "mc", "--p", "2",
+                     "--paths", "40000", "--repeat", "2",
+                     "--interval-ms", "1", "--seed", "3",
+                     "--out", str(out_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "collapsed:" in out and "price" in out
+        assert out_path.exists()
+
+    def test_serve_ledger_flag_appends_batch_records(self, tmp_path, capsys):
+        from repro.obs import read_ledger
+
+        path = tmp_path / "serve.jsonl"
+        code = main(["serve", "--requests", "6", "--contracts", "3",
+                     "--paths", "1000", "--batch", "3", "--repeat", "1",
+                     "--ledger", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ledger" in out
+        records = list(read_ledger(path))
+        assert records and all(r.kind == "serve" for r in records)
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

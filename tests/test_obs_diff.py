@@ -1,0 +1,101 @@
+"""Ledger summaries and the noise-aware regression diff (the perf gate)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.obs import (
+    RunRecord,
+    diff_ledgers,
+    diff_table,
+    report_table,
+    summarize_ledger,
+)
+
+
+def _rec(stage_s: float, *, kind="engine", engine="mc", stage="execute",
+         wall=None) -> RunRecord:
+    return RunRecord(run_id="0" * 12, kind=kind, engine=engine,
+                     config="c" * 12, backend="serial", workers=1, p=4,
+                     stages={stage: stage_s},
+                     wall_s=stage_s if wall is None else wall)
+
+
+def _ledger(times, **kw):
+    return [_rec(t, **kw) for t in times]
+
+
+class TestSummarize:
+    def test_groups_by_kind_engine_stage_plus_wall(self):
+        records = _ledger([0.1, 0.2]) + _ledger([0.3], engine="pde")
+        stats = summarize_ledger(records)
+        assert set(stats) == {("engine", "mc", "execute"),
+                              ("engine", "mc", "wall"),
+                              ("engine", "pde", "execute"),
+                              ("engine", "pde", "wall")}
+        s = stats[("engine", "mc", "execute")]
+        assert s.count == 2 and s.mean == pytest.approx(0.15)
+        assert s.cv > 0.0
+
+    def test_empty_ledger_raises(self):
+        with pytest.raises(ValidationError, match="no records"):
+            summarize_ledger([])
+
+    def test_report_table_renders(self):
+        text = report_table(summarize_ledger(_ledger([0.1, 0.2]))).render()
+        assert "p50 [s]" in text and "mc" in text
+
+
+class TestDiff:
+    def test_self_diff_is_all_ok_ratio_one(self):
+        base = _ledger([0.1, 0.11, 0.09])
+        entries = diff_ledgers(base, base)
+        assert {e.status for e in entries} == {"ok"}
+        assert all(e.ratio == 1.0 for e in entries)
+
+    def test_injected_2x_slowdown_fails(self):
+        # The acceptance scenario: exactly 2x slower must trip the gate.
+        base = _ledger([0.1, 0.1, 0.1])
+        slow = _ledger([0.2, 0.2, 0.2])
+        entries = diff_ledgers(base, slow)
+        assert all(e.status == "fail" for e in entries)
+        assert all(e.ratio == pytest.approx(2.0) for e in entries)
+
+    def test_noise_widens_warn_band_but_not_fail_band(self):
+        noisy = _ledger([0.05, 0.1, 0.2])     # cv ~ 0.5+
+        drift = _ledger([0.07, 0.14, 0.28])   # 1.4x — inside 3σ noise
+        entries = diff_ledgers(noisy, drift)
+        assert {e.status for e in entries} == {"ok"}
+        e = entries[0]
+        assert e.warn_band > 1.25 + 1.0      # noise term engaged
+        assert e.fail_band == 2.0            # never widened
+
+    def test_quiet_baseline_warns_on_moderate_regression(self):
+        base = _ledger([0.1, 0.1, 0.1])      # cv = 0
+        drift = _ledger([0.15, 0.15, 0.15])  # 1.5x: warn, not fail
+        entries = diff_ledgers(base, drift)
+        assert all(e.status == "warn" for e in entries)
+
+    def test_sub_resolution_and_one_sided_stages_are_info(self):
+        base = _ledger([5e-5, 6e-5])          # below min_seconds
+        new = _ledger([5e-4, 6e-4])           # 10x — still info
+        entries = diff_ledgers(base, new)
+        assert {e.status for e in entries} == {"info"}
+        only_new = diff_ledgers(_ledger([0.1]),
+                                _ledger([0.1]) + _ledger([0.1], engine="pde"))
+        pde = [e for e in only_new if e.engine == "pde"]
+        assert pde and all(e.status == "info" for e in pde)
+
+    def test_parameter_validation(self):
+        base = _ledger([0.1])
+        with pytest.raises(ValidationError):
+            diff_ledgers(base, base, warn_margin=-0.1)
+        with pytest.raises(ValidationError):
+            diff_ledgers(base, base, fail_ratio=1.0)
+
+    def test_diff_table_orders_regressions_first(self):
+        base = _ledger([0.1]) + _ledger([0.1], engine="pde")
+        new = _ledger([0.5]) + _ledger([0.1], engine="pde")
+        entries = diff_ledgers(base, new)
+        lines = diff_table(entries).render().splitlines()
+        rows = [ln for ln in lines if "|" in ln][1:]
+        assert rows[0].split("|")[0].strip() == "fail"

@@ -49,9 +49,57 @@ class TestHistogram:
     def test_empty_and_single_observation(self):
         h = MetricsRegistry().histogram("lat")
         assert h.snapshot() == {"count": 0, "sum": 0.0, "min": 0.0,
-                                "max": 0.0, "mean": 0.0, "std": 0.0}
+                                "max": 0.0, "mean": 0.0, "std": 0.0,
+                                "buckets": [], "p50": 0.0, "p90": 0.0,
+                                "p99": 0.0, "p999": 0.0}
         h.observe(2.0)
-        assert h.snapshot()["std"] == 0.0
+        snap = h.snapshot()
+        assert snap["std"] == 0.0
+        assert snap["p50"] == 2.0 and snap["p999"] == 2.0
+        assert snap["buckets"] == [[4, 1]]  # log2(2)*4 = bucket index 4
+
+    def test_quantiles_bracket_min_max_and_interpolate(self):
+        h = MetricsRegistry().histogram("lat")
+        for v in range(1, 101):
+            h.observe(v / 100.0)
+        assert h.quantile(0.0) == h.min
+        assert h.quantile(1.0) == h.max
+        # Bucketed estimate lands within one bucket width (~19%) of exact.
+        assert h.quantile(0.5) == pytest.approx(0.5, rel=0.2)
+        assert h.quantile(0.99) == pytest.approx(0.99, rel=0.2)
+        with pytest.raises(ValidationError):
+            h.quantile(1.5)
+
+    def test_nonpositive_observations_bucket_separately(self):
+        h = MetricsRegistry().histogram("lat")
+        h.observe(0.0)
+        h.observe(5.0)
+        snap = h.snapshot()
+        assert snap["count"] == 2
+        assert h.quantile(0.0) == 0.0 and h.quantile(1.0) == 5.0
+
+    def test_merge_is_exact_and_validates_type(self):
+        a = MetricsRegistry().histogram("lat")
+        b = MetricsRegistry().histogram("lat")
+        values = [0.01, 0.2, 0.2, 3.0, 41.0]
+        for v in values[:2]:
+            a.observe(v)
+        for v in values[2:]:
+            b.observe(v)
+        whole = MetricsRegistry().histogram("lat")
+        for v in values:
+            whole.observe(v)
+        a.merge(b)
+        sa, sw = a.snapshot(), whole.snapshot()
+        # Bucket counts, extremes and quantiles merge exactly (integers and
+        # bucket geometry); the moment sums only up to summation order.
+        for key in ("count", "min", "max", "buckets", "p50", "p90", "p99",
+                    "p999"):
+            assert sa[key] == sw[key], key
+        assert sa["sum"] == pytest.approx(sw["sum"], rel=1e-12)
+        assert sa["std"] == pytest.approx(sw["std"], rel=1e-9)
+        with pytest.raises(ValidationError):
+            a.merge(object())
 
 
 class TestRegistry:

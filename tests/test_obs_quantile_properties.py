@@ -1,0 +1,105 @@
+"""Property tests for the quantile histogram (hypothesis).
+
+The estimator's contracts, independent of any concrete data set:
+
+* **monotonicity** — q ≤ q' implies quantile(q) ≤ quantile(q');
+* **range** — every quantile lies in [min, max] of the observed data;
+* **permutation invariance** — observation order never matters;
+* **merge associativity/commutativity** — sharded observation (workers,
+  MPI ranks) then merging gives the same bucket state and quantiles as
+  observing everything in one histogram;
+* **bucket accuracy** — estimates land within one log-bucket width
+  (2^(1/4) ≈ 19%) of the true empirical quantile for positive data.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.obs import Histogram
+
+#: Positive latencies spanning the bucket table's useful range.
+latencies = st.floats(min_value=1e-9, max_value=1e9,
+                      allow_nan=False, allow_infinity=False)
+samples = st.lists(latencies, min_size=1, max_size=200)
+quantile_qs = st.floats(min_value=0.0, max_value=1.0)
+
+
+def _fill(values) -> Histogram:
+    h = Histogram()
+    for v in values:
+        h.observe(v)
+    return h
+
+
+@given(samples, quantile_qs, quantile_qs)
+def test_quantiles_are_monotone(values, q1, q2):
+    h = _fill(values)
+    lo, hi = sorted((q1, q2))
+    assert h.quantile(lo) <= h.quantile(hi) + 1e-12
+
+
+@given(samples, quantile_qs)
+def test_quantiles_stay_within_observed_range(values, q):
+    h = _fill(values)
+    est = h.quantile(q)
+    assert min(values) <= est <= max(values) or math.isclose(
+        est, min(values)) or math.isclose(est, max(values))
+
+
+@given(samples, st.randoms(use_true_random=False))
+def test_permutation_invariance(values, rnd):
+    shuffled = list(values)
+    rnd.shuffle(shuffled)
+    a, b = _fill(values), _fill(shuffled)
+    assert a.buckets == b.buckets
+    assert a.count == b.count and a.min == b.min and a.max == b.max
+    for q in (0.0, 0.5, 0.9, 0.99, 1.0):
+        assert a.quantile(q) == b.quantile(q)
+
+
+@given(st.lists(latencies, min_size=0, max_size=60),
+       st.lists(latencies, min_size=0, max_size=60),
+       st.lists(latencies, min_size=1, max_size=60))
+def test_merge_matches_pooled_and_is_associative(xs, ys, zs):
+    pooled = _fill(xs + ys + zs)
+    left = _fill(xs).merge(_fill(ys)).merge(_fill(zs))      # (x+y)+z
+    right = _fill(xs).merge(_fill(ys).merge(_fill(zs)))     # x+(y+z)
+    swapped = _fill(zs).merge(_fill(ys)).merge(_fill(xs))   # commuted
+    for h in (left, right, swapped):
+        assert h.buckets == pooled.buckets
+        assert h.count == pooled.count
+        assert h.min == pooled.min and h.max == pooled.max
+        for q in (0.5, 0.9, 0.99, 0.999):
+            assert h.quantile(q) == pooled.quantile(q)
+
+
+@settings(max_examples=50)
+@given(st.lists(st.floats(min_value=1e-3, max_value=1e3,
+                          allow_nan=False, allow_infinity=False),
+                min_size=5, max_size=200))
+def test_bucket_resolution_bound_vs_empirical_quantile(values):
+    h = _fill(values)
+    ordered = sorted(values)
+    n = len(ordered)
+    for q in (0.5, 0.9):
+        # A target rank exactly on an order-statistic boundary makes either
+        # neighbour a valid empirical quantile — bound against both.
+        lo_rank = max(math.ceil(q * n) - 1, 0)
+        hi_rank = min(int(q * n), n - 1)
+        est = h.quantile(q)
+        # One bucket spans a 2^(1/4) ratio; allow two bucket widths of
+        # slack for interpolation at cumulative-rank boundaries.
+        assert est <= ordered[hi_rank] * 2 ** 0.5 + 1e-12
+        assert est >= ordered[lo_rank] / 2 ** 0.5 - 1e-12
+
+
+@given(st.lists(st.floats(min_value=-10.0, max_value=10.0,
+                          allow_nan=False), min_size=1, max_size=100))
+def test_nonpositive_values_never_break_the_estimator(values):
+    h = _fill(values)
+    assert h.count == len(values)
+    for q in (0.0, 0.5, 1.0):
+        est = h.quantile(q)
+        assert math.isfinite(est)
+        assert min(values) <= est <= max(values)

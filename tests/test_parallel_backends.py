@@ -276,6 +276,49 @@ class TestChunkHeuristics:
         assert tuner.chunksize(100) <= 25
         assert tuner.chunksize(3) == 1  # ceil(3/4): every worker busy
 
+    def test_autotuner_dispersion_shrinks_chunks(self):
+        from repro.parallel import ChunkAutotuner, suggest_chunksize
+
+        tuner = ChunkAutotuner(4, smoothing=1.0)
+        base = suggest_chunksize(64, 4)
+        assert tuner.dispersion == 1.0
+        tuner.observe_quantiles(0.01, 0.08)  # p99 = 8x p50: stragglers
+        assert tuner.dispersion == pytest.approx(8.0)
+        assert tuner.chunksize(64) == max(1, base // 8)
+        assert tuner.chunksize(64) < base
+        # Uniform latency pulls the dispersion back toward 1.
+        tuner.observe_quantiles(0.01, 0.01)
+        assert tuner.dispersion == 1.0
+        assert tuner.chunksize(64) == base
+
+    def test_autotuner_dispersion_is_capped_and_ignores_empty(self):
+        from repro.obs import Histogram
+        from repro.parallel import ChunkAutotuner
+
+        tuner = ChunkAutotuner(4, smoothing=1.0)
+        tuner.observe_quantiles(1e-6, 10.0)  # absurd ratio → clamp
+        assert tuner.dispersion == ChunkAutotuner.DISPERSION_CAP
+        assert tuner.chunksize(64) >= 1
+        before = tuner.dispersion
+        tuner.observe_histogram(Histogram())   # empty: no-op
+        tuner.observe_quantiles(0.0, 1.0)      # non-positive: no-op
+        assert tuner.dispersion == before
+
+    def test_autotuner_histogram_feedback_matches_quantiles(self):
+        from repro.obs import Histogram
+        from repro.parallel import ChunkAutotuner
+
+        hist = Histogram()
+        for _ in range(95):
+            hist.observe(0.01)
+        for _ in range(5):
+            hist.observe(0.16)
+        by_hist = ChunkAutotuner(4, smoothing=1.0)
+        by_hist.observe_histogram(hist)
+        by_q = ChunkAutotuner(4, smoothing=1.0)
+        by_q.observe_quantiles(hist.quantile(0.5), hist.quantile(0.99))
+        assert by_hist.dispersion == by_q.dispersion > 1.0
+
 
 class TestCrossBackendDeterminism:
     """The paper's speedup claims require every backend to compute the same

@@ -495,3 +495,44 @@ class TestFaultReportingSurface:
         cluster = SimulatedCluster(2)
         cluster.delay(0, 1.5, kind="fault")
         assert cluster.report()["fault_time"] == 1.5
+
+
+class TestRunIdThreading:
+    """The run_id correlates the RunReport, trace instants and ledger —
+    without ever entering the report's canonical serialization."""
+
+    def test_resilient_map_stamps_report_and_instants(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        plan = FaultPlan(events=(FaultEvent(0, FaultKind.CRASH),
+                                 FaultEvent(1, FaultKind.DROP)))
+        _, report = resilient_map(SerialBackend(), lambda t: t, [0, 1, 2],
+                                  plan=plan, policy="retry", tracer=tracer,
+                                  run_id="cafe00112233")
+        assert report.run_id == "cafe00112233"
+        instants = [e for e in tracer.events
+                    if e.name in ("fault", "retry", "degrade")]
+        assert instants
+        assert all(e.args["run_id"] == "cafe00112233" for e in instants)
+
+    def test_default_is_anonymous(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        _, report = resilient_map(SerialBackend(), lambda t: t, [0, 1],
+                                  plan=FaultPlan.single_crash(0),
+                                  policy="retry", tracer=tracer)
+        assert report.run_id is None
+        faults = [e for e in tracer.events if e.name == "fault"]
+        assert faults and all("run_id" not in e.args for e in faults)
+
+    def test_run_id_excluded_from_canonical_serialization(self):
+        plan = FaultPlan.single_crash(0)
+        _, with_id = resilient_map(SerialBackend(), lambda t: t, [0, 1],
+                                   plan=plan, policy="retry",
+                                   run_id="cafe00112233")
+        _, without = resilient_map(SerialBackend(), lambda t: t, [0, 1],
+                                   plan=plan, policy="retry")
+        assert with_id.to_json() == without.to_json()
+        assert "run_id" not in with_id.to_dict()

@@ -172,6 +172,65 @@ class TestDedupAndCache:
         assert hist.count == 4
 
 
+class TestServeObservability:
+    def test_each_batch_appends_a_ledger_record(self, tmp_path):
+        from repro.obs import RunLedger
+
+        ledger = RunLedger(tmp_path / "runs.jsonl")
+        reqs = _mc_requests(4)
+        with PricingService(max_batch=2, ledger=ledger) as svc:
+            svc.price_many(reqs)
+        records = ledger.records()
+        assert len(records) == 2
+        for rec in records:
+            assert rec.kind == "serve" and rec.engine == "service"
+            assert set(rec.stages) == {"batch"}
+            assert rec.wall_s == rec.stages["batch"] >= 0.0
+            assert rec.extra["requests"] == 2
+            assert rec.extra["hits"] + rec.extra["misses"] == 2
+
+    def test_cache_replay_batches_record_zero_map_calls(self, tmp_path):
+        from repro.obs import RunLedger
+
+        ledger = RunLedger(tmp_path / "runs.jsonl")
+        reqs = _mc_requests(3)
+        cache = PriceCache(32)
+        with PricingService(max_batch=3, cache=cache, ledger=ledger) as svc:
+            svc.price_many(reqs)
+            svc.price_many(reqs)
+        first, second = ledger.records()
+        assert first.extra["map_calls"] == 1 and first.extra["misses"] == 3
+        assert second.extra["map_calls"] == 0 and second.extra["hits"] == 3
+
+    def test_metrics_registry_wired_into_backend_task_latency(self):
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        with PricingService(max_batch=4, cache=None,
+                            metrics=metrics) as svc:
+            assert svc.backend.metrics is metrics
+            svc.price_many(_mc_requests(4))
+        hist = metrics.histogram("task_latency",
+                                 backend=svc.backend.name)
+        assert hist.count > 0
+
+    def test_task_latency_feeds_the_chunk_autotuner(self):
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        with PricingService(max_batch=4, cache=None,
+                            metrics=metrics) as svc:
+            hist = metrics.histogram("task_latency",
+                                     backend=svc.backend.name)
+            # A dispersed latency profile (stragglers) recorded before the
+            # batch lands in the autotuner via observe_histogram.
+            for _ in range(30):
+                hist.observe(0.001)
+            hist.observe(0.064)
+            svc.price_many(_mc_requests(4))
+            assert svc._autotuner.dispersion > 1.0
+
+
 class _CountingBackend(SerialBackend):
     """Serial backend that counts the tasks it actually executes."""
 
