@@ -1,0 +1,191 @@
+"""F17 — Sharded gateway saturation: goodput scaling and bounded-tail
+overload behavior.
+
+ROADMAP item 2 closes here. Seeded open-loop traffic (Poisson arrivals,
+the default interactive/standard/bulk lane mix) is replayed on the
+virtual-time executor across a shards × offered-load grid. Virtual time
+makes the whole sweep deterministic in the seed — every goodput, shed
+count and latency quantile below reproduces bit-for-bit — and decouples
+the measured serving dynamics from CI host noise.
+
+Two experiments:
+
+* **F17a — saturation sweep.** Shards ∈ {1, 2, 4} × offered load ∈
+  {1×, 2×} of the all-miss capacity. Gated claims:
+
+  - **shard scaling**: goodput at 4 shards under 2× overload is ≥ 3×
+    the 1-shard goodput (near-linear: disjoint queues, disjoint caches);
+  - **shed, don't collapse**: every 2× cell keeps goodput ≥ 90% of its
+    all-miss capacity with a nonzero shed rate — overload is absorbed by
+    refusing work early, not by queue collapse;
+  - **bounded tail**: 4-shard p99 latency under 2× overload stays ≤ 5×
+    the 1×-load p99 — admission keeps the tail pinned to deadline
+    budgets instead of letting it grow with the backlog.
+
+* **F17b — hot disjoint shard caches.** The same book replayed
+  *without* per-request seed variation (``unique=False``): after the
+  cold pass every shard serves its slice from its own cache. Reported
+  per shard straight from the labeled ``serve.cache_hits{shard=i}``
+  counters; the claim (asserted, not timed) is an aggregate hit rate
+  ≥ 80% with every shard's cache populated.
+
+Each cell appends a ``kind="gateway"`` record to the active run ledger
+(``REPRO_LEDGER``), so the CI perf job's ledger diff sees gateway drive
+times next to the engine stages.
+
+``--smoke`` shortens the traffic window; the gates are identical — they
+are the PR's acceptance criteria.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.gateway import (CostModel, LoadgenConfig, capacity,
+                           open_loop_schedule, run_schedule)
+from repro.obs import MetricsRegistry
+from repro.utils import Table
+
+SEED = 17
+SHARD_LIST = (1, 2, 4)
+LOAD_LIST = (1.0, 2.0)
+MAX_QUEUE = 64
+
+SCALING_GATE = 3.0      # goodput(4 shards) / goodput(1 shard) at 2x
+GOODPUT_FLOOR = 0.9     # goodput >= 90% of capacity in every 2x cell
+P99_RATIO_GATE = 5.0    # p99(2x) <= 5 * p99(1x) at 4 shards
+HIT_RATE_FLOOR = 0.8    # aggregate hit rate on repeated-book traffic
+
+
+def _cell(n_shards: int, load: float, duration_s: float,
+          metrics: MetricsRegistry | None = None):
+    """One sweep cell: seeded traffic at ``load``× the cell's capacity."""
+    cost = CostModel()
+    base = LoadgenConfig(seed=SEED, duration_s=duration_s)
+    cap = capacity(base, cost, n_shards)
+    cfg = LoadgenConfig(seed=SEED, rate=load * cap, duration_s=duration_s)
+    result = run_schedule(open_loop_schedule(cfg), n_shards=n_shards,
+                          cost=cost, duration_s=duration_s,
+                          max_queue=MAX_QUEUE, metrics=metrics)
+    return cap, result
+
+
+def build_f17a_saturation(duration_s: float = 10.0):
+    table = Table(
+        ["shards", "load", "offered", "goodput", "cap", "shed %",
+         "p50 [ms]", "p99 [ms]", "max depth"],
+        title=(f"F17a — gateway saturation sweep (virtual time, seed "
+               f"{SEED}, {duration_s:g}s window, max_queue={MAX_QUEUE})"),
+        floatfmt=".4g",
+    )
+    cells = {}
+    for n_shards in SHARD_LIST:
+        for load in LOAD_LIST:
+            cap, res = _cell(n_shards, load, duration_s)
+            cells[(n_shards, load)] = (cap, res)
+            overall = res.overall_latency
+            table.add_row([n_shards, f"{load:g}x", res.offered, res.goodput,
+                           cap, 100.0 * res.shed_rate,
+                           overall.quantile(0.5) * 1e3,
+                           overall.quantile(0.99) * 1e3,
+                           max(res.max_depths)])
+    return table, cells
+
+
+def build_f17b_cache(duration_s: float = 3.0, n_shards: int = 4):
+    cost = CostModel()
+    base = LoadgenConfig(seed=SEED, duration_s=duration_s, unique=False)
+    cfg = LoadgenConfig(seed=SEED, rate=0.8 * capacity(base, cost, n_shards),
+                        duration_s=duration_s, unique=False)
+    metrics = MetricsRegistry()
+    result = run_schedule(open_loop_schedule(cfg), n_shards=n_shards,
+                          cost=cost, duration_s=duration_s,
+                          max_queue=MAX_QUEUE, metrics=metrics)
+    table = Table(["shard", "hits", "misses", "hit rate", "max depth"],
+                  title=(f"F17b — hot disjoint shard caches (repeated "
+                         f"{cfg.n_contracts}-contract book, {n_shards} "
+                         f"shards)"),
+                  floatfmt=".3g")
+    for shard in range(n_shards):
+        hits = metrics.counter("serve.cache_hits", shard=str(shard)).value
+        misses = metrics.counter("serve.cache_misses", shard=str(shard)).value
+        rate = hits / (hits + misses) if hits + misses else 0.0
+        table.add_row([shard, int(hits), int(misses), rate,
+                       result.max_depths[shard]])
+    total_hits = metrics.sum_counters("serve.cache_hits")
+    total = total_hits + metrics.sum_counters("serve.cache_misses")
+    aggregate = total_hits / total if total else 0.0
+    return table, aggregate, metrics
+
+
+def check_gates(cells) -> list[str]:
+    """Every failed acceptance gate as a message (empty == all pass)."""
+    failures = []
+    g1 = cells[(1, 2.0)][1].goodput
+    g4 = cells[(4, 2.0)][1].goodput
+    if g4 < SCALING_GATE * g1:
+        failures.append(f"goodput scaling {g4 / max(g1, 1e-9):.2f}x "
+                        f"(1->4 shards at 2x) < {SCALING_GATE}x gate")
+    for n_shards in SHARD_LIST:
+        cap, res = cells[(n_shards, 2.0)]
+        if res.goodput < GOODPUT_FLOOR * cap:
+            failures.append(f"{n_shards}-shard 2x goodput {res.goodput:.1f} "
+                            f"< {GOODPUT_FLOOR:.0%} of capacity {cap:.1f}")
+        if res.shed_total == 0:
+            failures.append(f"{n_shards}-shard 2x cell shed nothing — "
+                            f"overload not exercised")
+        if max(res.max_depths) > 3 * MAX_QUEUE:
+            failures.append(f"{n_shards}-shard queue depth "
+                            f"{max(res.max_depths)} exceeds lanes x "
+                            f"max_queue bound {3 * MAX_QUEUE}")
+    p99_1x = cells[(4, 1.0)][1].overall_latency.quantile(0.99)
+    p99_2x = cells[(4, 2.0)][1].overall_latency.quantile(0.99)
+    if p99_2x > P99_RATIO_GATE * p99_1x:
+        failures.append(f"4-shard p99 grew {p99_2x / max(p99_1x, 1e-9):.2f}x "
+                        f"under 2x overload (gate {P99_RATIO_GATE}x)")
+    return failures
+
+
+# ---------------------------------------------------------------------------
+# pytest lane (smoke scale; the gates are the acceptance criteria)
+# ---------------------------------------------------------------------------
+
+def test_f17_gateway(benchmark, show):
+    table, cells = build_f17a_saturation(duration_s=3.0)
+    show(table.render())
+    failures = check_gates(cells)
+    assert not failures, "; ".join(failures)
+
+    cache_table, hit_rate, metrics = build_f17b_cache()
+    show(cache_table.render())
+    assert hit_rate >= HIT_RATE_FLOOR, (
+        f"aggregate hit rate {hit_rate:.1%} < {HIT_RATE_FLOOR:.0%}")
+    assert len(metrics.matching("serve.cache_hits")) == 4
+
+    def drive_once():
+        return _cell(2, 2.0, 1.0)
+
+    benchmark(drive_once)
+
+
+if __name__ == "__main__":
+    smoke = "--smoke" in sys.argv[1:]
+    duration = 3.0 if smoke else 10.0
+    table, cells = build_f17a_saturation(duration_s=duration)
+    print(table.render())
+    print()
+    cache_table, hit_rate, _ = build_f17b_cache(
+        duration_s=1.0 if smoke else 3.0)
+    print(cache_table.render())
+    failures = check_gates(cells)
+    if hit_rate < HIT_RATE_FLOOR:
+        failures.append(f"aggregate hit rate {hit_rate:.1%} < "
+                        f"{HIT_RATE_FLOOR:.0%} floor")
+    if failures:
+        for msg in failures:
+            print(f"FAIL: {msg}", file=sys.stderr)
+        raise SystemExit(1)
+    scaling = cells[(4, 2.0)][1].goodput / cells[(1, 2.0)][1].goodput
+    print(f"OK: goodput scales {scaling:.2f}x from 1 to 4 shards at 2x "
+          f"overload; every 2x cell sheds without collapsing; hot caches "
+          f"hit {hit_rate:.0%}")

@@ -199,6 +199,42 @@ def build_parser() -> argparse.ArgumentParser:
                          help="append one run-ledger record per executed "
                               "batch to this JSONL file")
 
+    p_gate = sub.add_parser(
+        "gateway",
+        help="drive seeded traffic through the sharded admission-controlled "
+             "gateway (virtual time) and report goodput / latency / shed",
+    )
+    p_gate.add_argument("--shards", type=int, default=4,
+                        help="shard worker count (default %(default)s)")
+    p_gate.add_argument("--overload", default="1x",
+                        help='offered load as a multiple of all-miss '
+                             'capacity, e.g. "2x" or "0.8" '
+                             '(default %(default)s)')
+    p_gate.add_argument("--duration", type=float, default=5.0,
+                        help="traffic window in virtual seconds")
+    p_gate.add_argument("--contracts", type=int, default=16,
+                        help="distinct contracts in the traffic book")
+    p_gate.add_argument("--paths", type=int, default=2_000,
+                        help="MC paths per request (drives the cost model)")
+    p_gate.add_argument("--max-queue", type=int, default=64,
+                        help="per-shard per-lane queue bound")
+    p_gate.add_argument("--seed", type=int, default=0)
+    p_gate.add_argument("--book", choices=("strip", "portfolio"),
+                        default="strip")
+    p_gate.add_argument("--repeat-book", action="store_true",
+                        help="replay the same contracts (cache-hit traffic) "
+                             "instead of unique all-miss requests")
+    p_gate.add_argument("--priced", action="store_true",
+                        help="actually price cache misses (bitwise-"
+                             "deterministic price stream; slower)")
+    p_gate.add_argument("--closed", type=int, default=0, metavar="CLIENTS",
+                        help="closed loop with this many think-time clients "
+                             "instead of open-loop Poisson arrivals")
+    p_gate.add_argument("--think", type=float, default=0.01,
+                        help="closed-loop client think time in seconds")
+    p_gate.add_argument("--ledger", default=None,
+                        help="append the run record to this JSONL ledger")
+
     p_obs = sub.add_parser(
         "obs",
         help="run-ledger observability: summarize, diff (perf gate), "
@@ -693,6 +729,81 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_gateway(args: argparse.Namespace) -> int:
+    from repro.gateway import (CostModel, LoadgenConfig, capacity,
+                               open_loop_schedule, run_closed_loop,
+                               run_schedule)
+    from repro.obs import MetricsRegistry, RunLedger
+    from repro.utils import Table
+
+    text = str(args.overload).rstrip("xX")
+    try:
+        overload = float(text)
+    except ValueError:
+        print(f'error: --overload must look like "2x" or "0.8", got '
+              f"{args.overload!r}", file=sys.stderr)
+        return 2
+    if overload <= 0:
+        print("error: --overload must be positive", file=sys.stderr)
+        return 2
+
+    cost = CostModel()
+    probe = LoadgenConfig(seed=args.seed, book=args.book,
+                          n_contracts=args.contracts, n_paths=args.paths,
+                          duration_s=args.duration,
+                          unique=not args.repeat_book)
+    cap = capacity(probe, cost, args.shards)
+    # Deadlines are drawn in service-time multiples: scale them by the
+    # all-miss service time of this path budget so "a deadline of 8"
+    # means eight service times of patience at any --paths setting.
+    miss_s = cost.base_s + cost.per_path_s * args.paths
+    cfg = LoadgenConfig(seed=args.seed, rate=overload * cap,
+                        duration_s=args.duration, book=args.book,
+                        n_contracts=args.contracts, n_paths=args.paths,
+                        unique=not args.repeat_book,
+                        deadline_scale_s=miss_s)
+    metrics = MetricsRegistry()
+    ledger = RunLedger(args.ledger) if args.ledger else None
+    if args.closed > 0:
+        result = run_closed_loop(cfg, n_shards=args.shards, cost=cost,
+                                 n_clients=args.closed, think_s=args.think,
+                                 max_queue=args.max_queue, priced=args.priced,
+                                 metrics=metrics, ledger=ledger)
+        mode = f"closed loop, {args.closed} clients"
+    else:
+        result = run_schedule(open_loop_schedule(cfg), n_shards=args.shards,
+                              cost=cost, duration_s=cfg.duration_s,
+                              max_queue=args.max_queue, priced=args.priced,
+                              metrics=metrics, ledger=ledger)
+        mode = f"open loop at {cfg.rate:.1f} req/s ({overload:g}x capacity)"
+
+    print(f"gateway  : {args.shards} shards, {mode}")
+    print(f"capacity : {cap:.1f} req/s all-miss "
+          f"({'unique' if cfg.unique else 'repeated-book'} traffic)")
+    print(f"offered  : {result.offered}   admitted {result.admitted}   "
+          f"completed {result.completed}")
+    shed = ", ".join(f"{k}={v}" for k, v in sorted(result.shed.items()))
+    print(f"goodput  : {result.goodput:.1f} req/s   "
+          f"shed rate {result.shed_rate:.1%}"
+          + (f"   ({shed})" if shed else ""))
+    print(result.lane_table(title=f"latency by lane — seed {args.seed}")
+          .render())
+    shards = Table(["shard", "max depth", "hits", "misses", "hit rate"],
+                   title="per-shard queues and caches", floatfmt=".3g")
+    for s in range(args.shards):
+        hits = metrics.counter("serve.cache_hits", shard=str(s)).value
+        misses = metrics.counter("serve.cache_misses", shard=str(s)).value
+        shards.add_row([s, result.max_depths[s], int(hits), int(misses),
+                        hits / (hits + misses) if hits + misses else 0.0])
+    print(shards.render())
+    if args.priced:
+        print(f"digests  : prices {result.price_stream_digest()}  "
+              f"decisions {result.decision_log_digest()}")
+    if ledger is not None:
+        print(f"ledger   : {ledger.appended} record -> {ledger.path}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -708,6 +819,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_verify(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "gateway":
+        return _cmd_gateway(args)
     if args.command == "obs":
         return _cmd_obs(args)
     return _cmd_portfolio(args)

@@ -1,0 +1,236 @@
+"""Seeded, deterministic load generation for the sharded gateway.
+
+The Premia/Nsp benchmark paper's lesson (PAPERS.md) is that a
+risk-management-style traffic generator is *the* way to stress a pricing
+architecture — not hand-picked request lists. This module builds that
+traffic deterministically: every arrival instant, contract choice, lane
+assignment and deadline draw comes from one counter-based
+:class:`~repro.rng.Philox4x32` stream, so a schedule is a pure function
+of its :class:`LoadgenConfig` — two builds are identical object for
+object, which is what the ``gateway`` determinism check and the
+overload acceptance tier rely on.
+
+Two traffic shapes:
+
+* **open loop** (:func:`open_loop_schedule`) — Poisson arrivals at a
+  configured offered rate, independent of completions; the overload
+  instrument (offered load can exceed capacity indefinitely).
+* **closed loop** (:func:`request_stream` + the simulator's
+  ``closed_clients``) — N clients that wait for their previous answer
+  (or shed) plus a think time before the next request; self-throttling,
+  the "live risk desk" shape.
+
+The virtual-time executor needs to know what a request *costs* without
+running it: :class:`CostModel` maps a request to deterministic service
+seconds (affine in the path budget, with a cheap cache-hit fast path),
+and :func:`capacity` derives the aggregate request rate N shards can
+sustain — the denominator of every goodput gate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+from repro.gateway.admission import GatewayRequest, lane_priority
+from repro.rng import Philox4x32
+from repro.serve.batching import PricingRequest
+from repro.utils.validation import (check_non_negative, check_positive,
+                                    check_positive_int)
+from repro.workloads.generators import random_portfolio, strike_strip
+
+__all__ = ["LaneMix", "DEFAULT_LANES", "LoadgenConfig", "CostModel",
+           "build_book", "open_loop_schedule", "request_stream", "capacity"]
+
+#: Philox stream discriminator for gateway traffic draws.
+_STREAM = 0x6A7E
+
+#: Uniform draws consumed per generated request (interarrival, contract,
+#: lane, deadline) — fixed so the stream position is a pure function of
+#: the request index.
+_DRAWS_PER_REQUEST = 4
+
+
+@dataclass(frozen=True)
+class LaneMix:
+    """One lane's share of traffic and its deadline budget range.
+
+    Deadlines are drawn uniformly from ``[deadline_lo_s, deadline_hi_s]``
+    per request — tight for interactive quotes, loose for bulk
+    revaluations.
+    """
+
+    lane: str
+    weight: float
+    deadline_lo_s: float
+    deadline_hi_s: float
+
+    def __post_init__(self) -> None:
+        lane_priority(self.lane)
+        check_positive("weight", self.weight)
+        check_positive("deadline_lo_s", self.deadline_lo_s)
+        if self.deadline_hi_s < self.deadline_lo_s:
+            raise ValidationError(
+                f"deadline_hi_s ({self.deadline_hi_s}) must be >= "
+                f"deadline_lo_s ({self.deadline_lo_s})")
+
+
+#: Default traffic mix: mostly standard pricing, an interactive quote
+#: stream with tight deadlines, a bulk tail with loose ones. Deadlines
+#: are expressed in *service-time multiples* scaled at build time.
+DEFAULT_LANES = (
+    LaneMix("interactive", 0.3, 4.0, 8.0),
+    LaneMix("standard", 0.5, 8.0, 30.0),
+    LaneMix("bulk", 0.2, 30.0, 120.0),
+)
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Deterministic service-time model for virtual-time execution.
+
+    A miss costs ``base_s + per_path_s * n_paths`` (dispatch overhead
+    plus path generation); a cache hit costs ``hit_s`` flat. Exact and
+    pure, so two simulator runs account identical virtual seconds.
+    """
+
+    base_s: float = 2e-3
+    per_path_s: float = 1e-6
+    hit_s: float = 1e-4
+
+    def __post_init__(self) -> None:
+        check_positive("base_s", self.base_s)
+        check_non_negative("per_path_s", self.per_path_s)
+        check_positive("hit_s", self.hit_s)
+
+    def miss_s(self, request: PricingRequest) -> float:
+        return self.base_s + self.per_path_s * request.n_paths
+
+    def service_s(self, request: PricingRequest, hit: bool) -> float:
+        return self.hit_s if hit else self.miss_s(request)
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """Everything that determines a traffic schedule, seed included.
+
+    ``unique=True`` varies the request seed per arrival, so every
+    request is a distinct cache key (all-miss traffic — the capacity /
+    overload instrument); ``unique=False`` replays the same ``book``
+    contracts verbatim, so steady-state traffic is cache-hit dominated
+    (the hot-shard-cache instrument).
+
+    ``deadline_scale_s`` converts the lane mix's deadline multiples into
+    seconds — set it to the cost model's miss time so "a deadline of 8"
+    means "eight service times of patience".
+    """
+
+    seed: int = 0
+    rate: float = 100.0
+    duration_s: float = 10.0
+    book: str = "strip"
+    n_contracts: int = 16
+    engine: str = "mc"
+    n_paths: int = 2_000
+    p: int = 1
+    unique: bool = True
+    deadline_scale_s: float = 4e-3
+    lanes: tuple[LaneMix, ...] = DEFAULT_LANES
+
+    def __post_init__(self) -> None:
+        check_positive("rate", self.rate)
+        check_positive("duration_s", self.duration_s)
+        check_positive_int("n_contracts", self.n_contracts)
+        check_positive_int("n_paths", self.n_paths)
+        check_positive("deadline_scale_s", self.deadline_scale_s)
+        if self.book not in ("strip", "portfolio"):
+            raise ValidationError(
+                f"book must be 'strip' or 'portfolio', got {self.book!r}")
+        if not self.lanes:
+            raise ValidationError("lanes must not be empty")
+
+    @property
+    def total_weight(self) -> float:
+        return sum(m.weight for m in self.lanes)
+
+
+def build_book(cfg: LoadgenConfig) -> list:
+    """The distinct contracts traffic draws from (a seeded book)."""
+    if cfg.book == "strip":
+        return strike_strip(cfg.n_contracts)
+    return random_portfolio(cfg.n_contracts, dim=2, seed=cfg.seed)
+
+
+@dataclass
+class _Draws:
+    """The seeded draw stream shared by open- and closed-loop builders."""
+
+    cfg: LoadgenConfig
+    gen: Philox4x32 = field(init=False)
+    book: list = field(init=False)
+    index: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        self.gen = Philox4x32(self.cfg.seed, stream=_STREAM)
+        self.book = build_book(self.cfg)
+
+    def next_request(self) -> tuple[float, GatewayRequest]:
+        """Draw (interarrival gap, request) for the next arrival."""
+        cfg = self.cfg
+        u = self.gen.uniforms(_DRAWS_PER_REQUEST)
+        gap = -math.log(max(1.0 - float(u[0]), 1e-12)) / cfg.rate
+        contract = self.book[int(float(u[1]) * len(self.book)) % len(self.book)]
+        pick = float(u[2]) * cfg.total_weight
+        mix = cfg.lanes[-1]
+        for m in cfg.lanes:
+            if pick < m.weight:
+                mix = m
+                break
+            pick -= m.weight
+        deadline = cfg.deadline_scale_s * (
+            mix.deadline_lo_s
+            + float(u[3]) * (mix.deadline_hi_s - mix.deadline_lo_s))
+        seed = cfg.seed + (self.index if cfg.unique else 0)
+        self.index += 1
+        request = PricingRequest(contract, engine=cfg.engine,
+                                 n_paths=cfg.n_paths, seed=seed, p=cfg.p,
+                                 name=contract.name)
+        return gap, GatewayRequest(request=request, lane=mix.lane,
+                                   deadline_s=deadline)
+
+
+def open_loop_schedule(cfg: LoadgenConfig) -> list[tuple[float, GatewayRequest]]:
+    """Poisson arrival schedule over ``[0, duration_s)`` — offered load
+    is ``rate`` req/s regardless of what the gateway does with it."""
+    draws = _Draws(cfg)
+    schedule: list[tuple[float, GatewayRequest]] = []
+    t = 0.0
+    while True:
+        gap, greq = draws.next_request()
+        t += gap
+        if t >= cfg.duration_s:
+            break
+        schedule.append((t, greq))
+    return schedule
+
+
+def request_stream(cfg: LoadgenConfig):
+    """Infinite deterministic request iterator (closed-loop clients pull
+    from this; arrival instants come from the client loop, not the
+    stream). Interarrival draws are consumed and discarded so open- and
+    closed-loop traffic share one draw geometry per request index."""
+    draws = _Draws(cfg)
+    while True:
+        _, greq = draws.next_request()
+        yield greq
+
+
+def capacity(cfg: LoadgenConfig, cost: CostModel, n_shards: int) -> float:
+    """Aggregate sustainable request rate of ``n_shards`` shard workers
+    on all-miss traffic — the goodput denominator. Cache-hit traffic
+    sustains (much) more; this is the conservative floor."""
+    per_request = cost.miss_s(PricingRequest(
+        build_book(cfg)[0], engine=cfg.engine, n_paths=cfg.n_paths,
+        seed=cfg.seed, p=cfg.p))
+    return check_positive_int("n_shards", n_shards) / per_request

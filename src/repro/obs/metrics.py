@@ -243,6 +243,21 @@ class MetricsRegistry:
     def histogram(self, name: str, **labels) -> Histogram:
         return self._get(Histogram, name, labels)
 
+    def matching(self, name: str) -> dict[str, object]:
+        """Every series with base name ``name``, keyed by its rendered
+        series key (sorted) — e.g. ``matching("serve.cache_hits")`` on a
+        sharded registry yields ``{"serve.cache_hits{shard=0}": ...,
+        "serve.cache_hits{shard=1}": ...}``. Reading only; series are
+        not created."""
+        return {key: self._series[key] for key in sorted(self._series)
+                if key == name or key.startswith(name + "{")}
+
+    def sum_counters(self, name: str) -> float:
+        """Total across every labeled variant of counter ``name`` — the
+        registry-wide aggregate of per-shard tallies."""
+        return sum(m.value for m in self.matching(name).values()
+                   if isinstance(m, Counter))
+
     # -- export --------------------------------------------------------------
 
     def snapshot(self) -> dict:

@@ -58,12 +58,18 @@ class PriceCache:
     any thread backend can share one cache.
 
     ``metrics`` (a :class:`~repro.obs.MetricsRegistry`) mirrors the hit /
-    miss / eviction tallies as ``serve.cache_*`` counters.
+    miss / eviction tallies as ``serve.cache_*`` counters. ``labels``
+    qualifies those series (e.g. ``labels={"shard": "3"}`` yields
+    ``serve.cache_hits{shard=3}``), so the sharded gateway's N disjoint
+    caches report per-shard hit rates into one shared registry instead
+    of collapsing onto a service-global counter.
     """
 
-    def __init__(self, capacity: int = 1024, *, metrics=None):
+    def __init__(self, capacity: int = 1024, *, metrics=None,
+                 labels: dict[str, object] | None = None):
         self.capacity = check_positive_int("capacity", capacity)
         self.metrics = metrics
+        self.labels = {str(k): str(v) for k, v in (labels or {}).items()}
         self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
@@ -93,12 +99,12 @@ class PriceCache:
             if entry is None:
                 self.misses += 1
                 if self.metrics is not None:
-                    self.metrics.counter("serve.cache_misses").inc()
+                    self.metrics.counter("serve.cache_misses", **self.labels).inc()
                 return None
             self._entries.move_to_end(key)
             self.hits += 1
             if self.metrics is not None:
-                self.metrics.counter("serve.cache_hits").inc()
+                self.metrics.counter("serve.cache_hits", **self.labels).inc()
             return entry.value
 
     def put(self, key: str, value) -> CacheEntry:
@@ -112,7 +118,7 @@ class PriceCache:
                 self._entries.popitem(last=False)
                 self.evictions += 1
                 if self.metrics is not None:
-                    self.metrics.counter("serve.cache_evictions").inc()
+                    self.metrics.counter("serve.cache_evictions", **self.labels).inc()
         return entry
 
     def clear(self) -> None:

@@ -318,6 +318,36 @@ def check_strip_batching(n_paths: int, seed: int) -> list[DeterminismResult]:
     return out
 
 
+def check_gateway(n_paths: int, seed: int) -> list[DeterminismResult]:
+    """Two priced virtual-time gateway runs of one seeded overload
+    schedule must agree **bitwise**: identical price streams (every
+    completed quote's price+stderr bits, sequence-ordered) and identical
+    admit/shed/done decision logs. Catches nondeterminism anywhere in
+    the serving stack — routing, lane ordering, admission arithmetic,
+    per-shard caches, or the engines underneath."""
+    from repro.gateway.loadgen import CostModel, LoadgenConfig, open_loop_schedule
+    from repro.gateway.simulate import run_schedule
+
+    cost = CostModel()
+    cfg = LoadgenConfig(seed=seed, rate=420.0, duration_s=0.6,
+                        n_paths=max(n_paths // 40, 250), unique=False)
+
+    def one_run():
+        res = run_schedule(open_loop_schedule(cfg), n_shards=2, cost=cost,
+                           duration_s=cfg.duration_s, max_queue=16,
+                           priced=True)
+        return res.price_stream_digest(), res.decision_log_digest()
+
+    prices_a, decisions_a = one_run()
+    prices_b, decisions_b = one_run()
+    return [
+        _verdict("gateway", "2-shard priced replay, price stream digest",
+                 {"run-a": prices_a, "run-b": prices_b}),
+        _verdict("gateway", "2-shard priced replay, decision log digest",
+                 {"run-a": decisions_a, "run-b": decisions_b}),
+    ]
+
+
 #: Name → check callable; each takes ``(n_paths, seed)``.
 DETERMINISM_CHECKS = {
     "backend-invariance": check_backend_invariance,
@@ -326,6 +356,7 @@ DETERMINISM_CHECKS = {
     "worker-invariance": check_worker_invariance,
     "serve-batching": check_serve_batching,
     "strip-batching": check_strip_batching,
+    "gateway": check_gateway,
 }
 
 

@@ -227,6 +227,51 @@ class TestObs:
         assert records and all(r.kind == "serve" for r in records)
 
 
+class TestGateway:
+    def test_overload_sweep_reports_and_sheds(self, capsys):
+        code = main(["gateway", "--shards", "4", "--overload", "2x",
+                     "--duration", "2", "--seed", "5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "4 shards" in out and "2x capacity" in out
+        assert "goodput" in out and "shed rate" in out
+        assert "latency by lane" in out and "interactive" in out
+        assert "per-shard queues and caches" in out
+
+    def test_repeat_book_priced_prints_digests(self, capsys):
+        code = main(["gateway", "--shards", "2", "--overload", "0.5",
+                     "--duration", "0.5", "--paths", "400",
+                     "--repeat-book", "--priced", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "digests" in out and "prices" in out
+
+    def test_closed_loop_mode(self, capsys):
+        code = main(["gateway", "--shards", "2", "--closed", "4",
+                     "--think", "0.02", "--duration", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "closed loop, 4 clients" in out
+
+    def test_ledger_flag_appends_gateway_record(self, tmp_path, capsys):
+        from repro.obs import read_ledger
+
+        path = tmp_path / "gateway.jsonl"
+        code = main(["gateway", "--shards", "2", "--duration", "1",
+                     "--ledger", str(path)])
+        assert code == 0
+        assert "ledger" in capsys.readouterr().out
+        records = list(read_ledger(path))
+        assert len(records) == 1 and records[0].kind == "gateway"
+        assert records[0].extra["goodput"] > 0
+
+    def test_bad_overload_is_a_usage_error(self, capsys):
+        assert main(["gateway", "--overload", "fast"]) == 2
+        assert main(["gateway", "--overload", "0x"]) == 2
+        err = capsys.readouterr().err
+        assert "--overload" in err
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

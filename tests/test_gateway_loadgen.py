@@ -1,0 +1,121 @@
+"""Tests for the seeded load generator and the virtual cost model.
+
+A schedule must be a pure function of its config — same seed, same
+arrivals, same contracts, same lanes, same deadlines, object for
+object. That is what the gateway determinism check and the overload
+acceptance tier stand on, so it is pinned here directly, alongside the
+statistical shape (arrival rate, lane mix, deadline ranges) and the
+capacity formula the goodput gates divide by.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.gateway.loadgen import (DEFAULT_LANES, CostModel, LaneMix,
+                                   LoadgenConfig, build_book, capacity,
+                                   open_loop_schedule, request_stream)
+from repro.serve.batching import request_key
+
+
+def test_schedule_is_deterministic_in_config():
+    cfg = LoadgenConfig(seed=11, rate=300.0, duration_s=2.0)
+    a = open_loop_schedule(cfg)
+    b = open_loop_schedule(cfg)
+    assert len(a) == len(b) > 0
+    for (ta, ga), (tb, gb) in zip(a, b):
+        assert ta == tb
+        assert ga.lane == gb.lane
+        assert ga.deadline_s == gb.deadline_s
+        assert request_key(ga.request) == request_key(gb.request)
+
+
+def test_different_seeds_differ():
+    a = open_loop_schedule(LoadgenConfig(seed=1, rate=200.0, duration_s=1.0))
+    b = open_loop_schedule(LoadgenConfig(seed=2, rate=200.0, duration_s=1.0))
+    assert [t for t, _ in a] != [t for t, _ in b]
+
+
+def test_arrivals_are_ordered_inside_the_window():
+    cfg = LoadgenConfig(seed=5, rate=500.0, duration_s=2.0)
+    times = [t for t, _ in open_loop_schedule(cfg)]
+    assert times == sorted(times)
+    assert 0.0 < times[0] and times[-1] < cfg.duration_s
+    # Poisson arrivals at 500/s over 2s: ~1000 expected; 6-sigma slack.
+    assert 800 <= len(times) <= 1200
+
+
+def test_lane_mix_and_deadline_ranges():
+    cfg = LoadgenConfig(seed=3, rate=1000.0, duration_s=2.0)
+    schedule = open_loop_schedule(cfg)
+    by_lane = {m.lane: m for m in cfg.lanes}
+    counts = dict.fromkeys(by_lane, 0)
+    for _, greq in schedule:
+        counts[greq.lane] += 1
+        mix = by_lane[greq.lane]
+        lo = cfg.deadline_scale_s * mix.deadline_lo_s
+        hi = cfg.deadline_scale_s * mix.deadline_hi_s
+        assert lo <= greq.deadline_s <= hi
+    total = sum(counts.values())
+    for mix in cfg.lanes:
+        share = counts[mix.lane] / total
+        expect = mix.weight / cfg.total_weight
+        assert abs(share - expect) < 0.1, (mix.lane, share, expect)
+
+
+def test_unique_flag_controls_cache_keys():
+    fresh = open_loop_schedule(LoadgenConfig(seed=0, rate=300.0,
+                                             duration_s=1.0, unique=True))
+    keys = {request_key(g.request) for _, g in fresh}
+    assert len(keys) == len(fresh)          # all-miss traffic
+    hot = open_loop_schedule(LoadgenConfig(seed=0, rate=300.0,
+                                           duration_s=1.0, unique=False,
+                                           n_contracts=8))
+    hot_keys = {request_key(g.request) for _, g in hot}
+    assert len(hot_keys) <= 8               # replayed book
+
+
+def test_request_stream_matches_schedule_requests():
+    cfg = LoadgenConfig(seed=9, rate=200.0, duration_s=1.0)
+    schedule = open_loop_schedule(cfg)
+    stream = request_stream(cfg)
+    for _, greq in schedule:
+        from_stream = next(stream)
+        assert request_key(from_stream.request) == request_key(greq.request)
+        assert from_stream.lane == greq.lane
+
+
+def test_books():
+    strip = build_book(LoadgenConfig(book="strip", n_contracts=6))
+    folio = build_book(LoadgenConfig(book="portfolio", n_contracts=6))
+    assert len(strip) == len(folio) == 6
+
+
+def test_cost_model_and_capacity():
+    cost = CostModel(base_s=1e-3, per_path_s=1e-6, hit_s=1e-4)
+    cfg = LoadgenConfig(n_paths=4_000)
+    req = open_loop_schedule(
+        LoadgenConfig(rate=100.0, duration_s=1.0, n_paths=4_000))[0][1].request
+    assert cost.miss_s(req) == pytest.approx(5e-3)
+    assert cost.service_s(req, hit=True) == pytest.approx(1e-4)
+    assert cost.service_s(req, hit=False) == pytest.approx(5e-3)
+    # capacity = n_shards / miss_s, linear in shards.
+    assert capacity(cfg, cost, 1) == pytest.approx(200.0)
+    assert capacity(cfg, cost, 4) == pytest.approx(800.0)
+
+
+def test_validation():
+    with pytest.raises(ValidationError):
+        LoadgenConfig(rate=0.0)
+    with pytest.raises(ValidationError):
+        LoadgenConfig(book="flat")
+    with pytest.raises(ValidationError):
+        LoadgenConfig(lanes=())
+    with pytest.raises(ValidationError):
+        LaneMix("standard", 1.0, 2.0, 1.0)   # hi < lo
+    with pytest.raises(ValidationError):
+        LaneMix("vip", 1.0, 1.0, 2.0)        # unknown lane
+    with pytest.raises(ValidationError):
+        CostModel(base_s=0.0)
+    assert DEFAULT_LANES[0].lane == "interactive"

@@ -1,0 +1,136 @@
+"""Acceptance tier: the gateway under seeded 2x overload (``-m gateway``).
+
+Everything runs on the virtual clock — a seeded Poisson schedule at
+twice the all-miss capacity, replayed through the exact state machine
+the asyncio front-end drives — so the assertions are sharp, not
+statistical:
+
+* **bounded queues**: no shard's depth ever exceeds lanes x max_queue;
+* **shed, don't collapse**: goodput stays within 10% of capacity while
+  a nonzero fraction of traffic is refused with recorded reasons;
+* **no silent loss**: every offered request reaches exactly one
+  terminal decision — completed within its deadline, or shed with a
+  reason — and the counters reconcile to the offered total;
+* **determinism**: the same seed replays to a bitwise-identical price
+  stream and an identical admit/shed decision log.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gateway import (CostModel, LoadgenConfig, capacity,
+                           open_loop_schedule, run_closed_loop, run_schedule)
+from repro.gateway.admission import LANES
+
+pytestmark = pytest.mark.gateway
+
+SEED = 23
+N_SHARDS = 4
+MAX_QUEUE = 32
+DURATION_S = 4.0
+COST = CostModel()
+
+
+def _overload_run(*, priced: bool = False, n_paths: int = 2_000,
+                  duration_s: float = DURATION_S, unique: bool = True):
+    base = LoadgenConfig(seed=SEED, duration_s=duration_s, n_paths=n_paths,
+                         unique=unique)
+    cap = capacity(base, COST, N_SHARDS)
+    cfg = LoadgenConfig(seed=SEED, rate=2.0 * cap, duration_s=duration_s,
+                        n_paths=n_paths, unique=unique)
+    result = run_schedule(open_loop_schedule(cfg), n_shards=N_SHARDS,
+                          cost=COST, duration_s=duration_s,
+                          max_queue=MAX_QUEUE, priced=priced)
+    return cfg, cap, result
+
+
+@pytest.fixture(scope="module")
+def overload():
+    return _overload_run()
+
+
+def test_overload_is_real(overload):
+    cfg, cap, result = overload
+    assert result.offered > 1.5 * cap * DURATION_S
+    assert result.shed_total > 0
+    assert set(result.shed) <= {"queue-full", "deadline", "expired"}
+
+
+def test_queues_stay_bounded(overload):
+    _, _, result = overload
+    bound = len(LANES) * MAX_QUEUE
+    assert all(depth <= bound for depth in result.max_depths), (
+        f"max depths {result.max_depths} exceed {bound}")
+
+
+def test_goodput_holds_at_capacity(overload):
+    _, cap, result = overload
+    assert result.goodput == pytest.approx(cap, rel=0.10), (
+        f"goodput {result.goodput:.1f} outside 10% of capacity {cap:.1f}")
+
+
+def test_every_offer_reaches_one_terminal_decision(overload):
+    cfg, _, result = overload
+    schedule = open_loop_schedule(cfg)
+    # seq order == arrival order: recover each request's absolute deadline.
+    deadline_at = {seq: t + greq.deadline_s
+                   for seq, (t, greq) in enumerate(schedule)}
+    terminal: dict[int, object] = {}
+    admitted = set()
+    for d in result.decisions:
+        if d.action == "admit":
+            admitted.add(d.seq)
+            assert d.seq not in terminal, "admit after a terminal decision"
+        else:
+            assert d.action in ("shed", "done")
+            assert d.seq not in terminal, f"two terminal decisions: {d.seq}"
+            terminal[d.seq] = d
+    assert len(terminal) == result.offered == len(schedule)
+    for seq, d in terminal.items():
+        if d.action == "done":
+            assert seq in admitted
+            # Virtual time is exact: an admitted completion is never late.
+            assert d.reason == ""
+            assert d.t <= deadline_at[seq] + 1e-12, (
+                f"request {seq} finished {d.t} past deadline "
+                f"{deadline_at[seq]}")
+        else:
+            assert d.reason in ("queue-full", "deadline", "expired")
+            # Only queued (admitted) requests can expire.
+            if d.reason == "expired":
+                assert seq in admitted
+
+
+def test_counters_reconcile(overload):
+    _, _, result = overload
+    at_door = (result.shed.get("queue-full", 0)
+               + result.shed.get("deadline", 0))
+    assert result.offered == result.admitted + at_door
+    assert result.admitted == result.completed + result.shed.get("expired", 0)
+    assert sum(h.count for h in result.latency.values()) == result.completed
+
+
+def test_same_seed_is_bitwise_identical():
+    # Priced runs: every completed quote's price/stderr bits must match,
+    # and the decision log must replay move for move. Small path budget
+    # and a repeated book keep the real pricing work tiny.
+    _, _, a = _overload_run(priced=True, n_paths=400, duration_s=0.5,
+                            unique=False)
+    _, _, b = _overload_run(priced=True, n_paths=400, duration_s=0.5,
+                            unique=False)
+    assert a.completed == b.completed > 0
+    assert a.price_stream_digest() == b.price_stream_digest()
+    assert a.decision_log_digest() == b.decision_log_digest()
+    assert a.shed == b.shed
+
+
+def test_closed_loop_never_sheds_when_self_throttled():
+    # A closed loop slower than capacity absorbs everything: clients wait
+    # for answers, so offered load tracks goodput and queues stay trivial.
+    cfg = LoadgenConfig(seed=SEED, duration_s=1.0)
+    result = run_closed_loop(cfg, n_shards=2, cost=COST, n_clients=4,
+                             think_s=0.05, max_queue=MAX_QUEUE)
+    assert result.offered == result.completed > 0
+    assert result.shed_total == 0
+    assert all(depth <= 4 for depth in result.max_depths)

@@ -115,6 +115,21 @@ class TestRegistry:
         assert snap["counters"]["tasks{backend=thread}"] == 1.0
         assert "x{a=2,b=1}" in snap["gauges"]
 
+    def test_matching_and_sum_counters(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", shard=0).inc(3)
+        reg.counter("hits", shard=1).inc(4)
+        reg.counter("hits").inc(1)
+        reg.counter("hitsx").inc(100)          # prefix, not a label variant
+        reg.gauge("hits_depth").set(9.0)
+        matched = reg.matching("hits")
+        assert list(matched) == ["hits", "hits{shard=0}", "hits{shard=1}"]
+        assert reg.sum_counters("hits") == 8.0
+        # Reading only: no series is created by matching a missing name.
+        assert reg.matching("absent") == {}
+        assert reg.sum_counters("absent") == 0.0
+        assert len(reg) == 5
+
     def test_kind_collision_raises(self):
         reg = MetricsRegistry()
         reg.counter("n")

@@ -200,6 +200,27 @@ class TestMetricsMirror:
         assert metrics.counter("serve.cache_evictions").value == 1
         assert cache.hit_rate == 0.5
 
+    def test_labels_split_counters_per_shard(self):
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        shard0 = PriceCache(4, metrics=metrics, labels={"shard": 0})
+        shard1 = PriceCache(4, metrics=metrics, labels={"shard": 1})
+        shard0.put("a", 1)
+        shard0.get("a")
+        shard1.get("a")          # miss: caches are disjoint objects
+        assert metrics.counter("serve.cache_hits", shard="0").value == 1
+        assert metrics.counter("serve.cache_hits", shard="1").value == 0
+        assert metrics.counter("serve.cache_misses", shard="1").value == 1
+        # The registry-wide aggregate sums the labeled variants.
+        assert metrics.sum_counters("serve.cache_hits") == 1
+        assert metrics.sum_counters("serve.cache_misses") == 1
+        # Unlabeled caches keep writing the bare series, unaffected.
+        bare = PriceCache(4, metrics=metrics)
+        bare.get("nope")
+        assert metrics.counter("serve.cache_misses").value == 1
+        assert metrics.sum_counters("serve.cache_misses") == 2
+
 
 class TestQuoteValue:
     def test_quote_is_plain_and_comparable(self):
