@@ -219,8 +219,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_gate.add_argument("--max-queue", type=int, default=64,
                         help="per-shard per-lane queue bound")
     p_gate.add_argument("--seed", type=int, default=0)
-    p_gate.add_argument("--book", choices=("strip", "portfolio"),
-                        default="strip")
+    p_gate.add_argument("--book", choices=("strip", "portfolio", "risk"),
+                        default="strip",
+                        help='"risk" serves the seeded shocked-contract '
+                             "book (implies repeated-book traffic and a "
+                             'kind="risk" ledger record)')
     p_gate.add_argument("--repeat-book", action="store_true",
                         help="replay the same contracts (cache-hit traffic) "
                              "instead of unique all-miss requests")
@@ -234,6 +237,37 @@ def build_parser() -> argparse.ArgumentParser:
                         help="closed-loop client think time in seconds")
     p_gate.add_argument("--ledger", default=None,
                         help="append the run record to this JSONL ledger")
+
+    p_risk = sub.add_parser(
+        "risk",
+        help="seeded scenario sweep: full-revaluation VaR/ES through the "
+             "shared price cache, with scenarios/sec and hit-rate "
+             "accounting",
+    )
+    p_risk.add_argument("--dim", type=int, default=2,
+                        help="assets in the shared market (default "
+                             "%(default)s)")
+    p_risk.add_argument("--contracts", type=int, default=4,
+                        help="contracts in the strike-ladder book")
+    p_risk.add_argument("--scenarios", type=int, default=64,
+                        help="scenario count for seeded generators")
+    p_risk.add_argument("--generator", default="stress",
+                        choices=("stress", "horizon", "historical", "axes"))
+    p_risk.add_argument("--horizon", type=float, default=10.0,
+                        help="risk horizon in trading days "
+                             "(default %(default)s)")
+    p_risk.add_argument("--paths", type=int, default=2_000,
+                        help="MC paths per revaluation request")
+    p_risk.add_argument("--seed", type=int, default=0)
+    p_risk.add_argument("--p", type=int, default=1,
+                        help="simulated processor count per request")
+    p_risk.add_argument("--levels", default="0.95,0.99",
+                        help="comma-separated confidence levels")
+    p_risk.add_argument("--hedge", action="store_true",
+                        help="also compute central-difference deltas and "
+                             "delta-hedged tail measures")
+    p_risk.add_argument("--ledger", default=None,
+                        help="append the run records to this JSONL ledger")
 
     p_obs = sub.add_parser(
         "obs",
@@ -748,10 +782,12 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
         return 2
 
     cost = CostModel()
+    # Risk traffic is revaluations of a fixed shocked book — always
+    # repeated-book (the cache-hit shape is the point of the tier).
+    repeat = args.repeat_book or args.book == "risk"
     probe = LoadgenConfig(seed=args.seed, book=args.book,
                           n_contracts=args.contracts, n_paths=args.paths,
-                          duration_s=args.duration,
-                          unique=not args.repeat_book)
+                          duration_s=args.duration, unique=not repeat)
     cap = capacity(probe, cost, args.shards)
     # Deadlines are drawn in service-time multiples: scale them by the
     # all-miss service time of this path budget so "a deadline of 8"
@@ -760,7 +796,7 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
     cfg = LoadgenConfig(seed=args.seed, rate=overload * cap,
                         duration_s=args.duration, book=args.book,
                         n_contracts=args.contracts, n_paths=args.paths,
-                        unique=not args.repeat_book,
+                        unique=not repeat,
                         deadline_scale_s=miss_s)
     metrics = MetricsRegistry()
     ledger = RunLedger(args.ledger) if args.ledger else None
@@ -799,8 +835,88 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
     if args.priced:
         print(f"digests  : prices {result.price_stream_digest()}  "
               f"decisions {result.decision_log_digest()}")
+    if args.book == "risk":
+        from repro.obs.ledger import active_ledger
+        from repro.risk.bridge import risk_run_record
+
+        n_base = min(args.contracts, 4)
+        n_scen = (args.contracts + n_base - 1) // n_base
+        record = risk_run_record(result, n_scenarios=n_scen,
+                                 n_contracts=n_base, engine=cfg.engine,
+                                 seed=args.seed)
+        book_ledger = ledger if ledger is not None else active_ledger()
+        if book_ledger is not None:
+            book_ledger.append(record)
+        print(f"risk     : {n_scen} scenarios x {n_base} base contracts, "
+              f"{record.extra['scenarios_per_s']:.1f} scenarios/s, "
+              f"hit rate {record.extra['hit_rate']:.1%}")
     if ledger is not None:
-        print(f"ledger   : {ledger.appended} record -> {ledger.path}")
+        print(f"ledger   : {ledger.appended} record(s) -> {ledger.path}")
+    return 0
+
+
+def _cmd_risk(args: argparse.Namespace) -> int:
+    from repro.obs import MetricsRegistry, RunLedger
+    from repro.risk import (RiskConfig, build_scenarios, hedged_pnl,
+                            portfolio_deltas, revalue_book, var_es)
+    from repro.serve import PriceCache, PricingService
+    from repro.utils import Table
+    from repro.workloads.generators import strike_strip
+
+    try:
+        levels = tuple(float(t) for t in args.levels.split(","))
+    except ValueError:
+        print(f'error: --levels must look like "0.95,0.99", got '
+              f"{args.levels!r}", file=sys.stderr)
+        return 2
+    cfg = RiskConfig(dim=args.dim, n_contracts=args.contracts,
+                     n_scenarios=args.scenarios, generator=args.generator,
+                     horizon=args.horizon / 252.0, n_paths=args.paths,
+                     seed=args.seed, p=args.p, levels=levels,
+                     hedge=args.hedge)
+    metrics = MetricsRegistry()
+    ledger = RunLedger(args.ledger) if args.ledger else None
+
+    book = strike_strip(cfg.n_contracts, dim=cfg.dim)
+    scenarios = build_scenarios(cfg, book[0].model)
+    cache = PriceCache(max(64, 4 * cfg.n_contracts * (len(scenarios) + 1)),
+                       metrics=metrics)
+    passes = Table(["pass", "scenarios/s", "hit rate", "wall s"],
+                   title="sweep passes (shared cache)", floatfmt=".3g")
+    report = None
+    with PricingService(cache=cache, max_batch=cfg.n_contracts,
+                        metrics=metrics, ledger=ledger) as service:
+        for label in ("cold", "cache-hot"):
+            report = revalue_book(book, scenarios, engine=cfg.engine,
+                                  n_paths=cfg.n_paths, seed=cfg.seed,
+                                  p=cfg.p, levels=cfg.levels,
+                                  service=service, metrics=metrics,
+                                  ledger=ledger)
+            passes.add_row([label, report.scenarios_per_s, report.hit_rate,
+                            report.wall_s])
+        if cfg.hedge:
+            deltas = portfolio_deltas(book, service=service,
+                                      engine=cfg.engine, n_paths=cfg.n_paths,
+                                      seed=cfg.seed, p=cfg.p)
+            report.deltas = tuple(float(d) for d in deltas)
+            report.hedged = hedged_pnl(report, deltas, book[0].model.spots,
+                                       scenarios)
+
+    print(f"risk     : {cfg.generator} generator, {len(scenarios)} scenarios"
+          f" x {cfg.n_contracts} contracts (dim {cfg.dim}), seed {cfg.seed}")
+    print(f"base     : {report.base_value:.4f}   "
+          f"pnl digest {report.pnl_digest()}")
+    print(passes.render())
+    print(report.table(
+        title=f"VaR / ES — full revaluation, {cfg.engine}").render())
+    if report.hedged is not None:
+        deltas = ", ".join(f"{d:.3f}" for d in report.deltas)
+        print(f"deltas   : [{deltas}]")
+        for level in sorted(report.levels):
+            hv, he = var_es(report.hedged, level)
+            print(f"hedged   : {level:.0%} VaR {hv:.4f}  ES {he:.4f}")
+    if ledger is not None:
+        print(f"ledger   : {ledger.appended} record(s) -> {ledger.path}")
     return 0
 
 
@@ -821,6 +937,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_serve(args)
     if args.command == "gateway":
         return _cmd_gateway(args)
+    if args.command == "risk":
+        return _cmd_risk(args)
     if args.command == "obs":
         return _cmd_obs(args)
     return _cmd_portfolio(args)

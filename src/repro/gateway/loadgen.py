@@ -144,9 +144,10 @@ class LoadgenConfig:
         check_positive_int("n_contracts", self.n_contracts)
         check_positive_int("n_paths", self.n_paths)
         check_positive("deadline_scale_s", self.deadline_scale_s)
-        if self.book not in ("strip", "portfolio"):
+        if self.book not in ("strip", "portfolio", "risk"):
             raise ValidationError(
-                f"book must be 'strip' or 'portfolio', got {self.book!r}")
+                f"book must be 'strip', 'portfolio' or 'risk', "
+                f"got {self.book!r}")
         if not self.lanes:
             raise ValidationError("lanes must not be empty")
 
@@ -159,6 +160,11 @@ def build_book(cfg: LoadgenConfig) -> list:
     """The distinct contracts traffic draws from (a seeded book)."""
     if cfg.book == "strip":
         return strike_strip(cfg.n_contracts)
+    if cfg.book == "risk":
+        # Lazy import: repro.risk sits above the gateway layer.
+        from repro.risk.bridge import risk_book
+
+        return risk_book(cfg.n_contracts, seed=cfg.seed)
     return random_portfolio(cfg.n_contracts, dim=2, seed=cfg.seed)
 
 

@@ -1,0 +1,113 @@
+"""Closed-form portfolio VaR/ES for geometric-basket books.
+
+The backtest oracle behind the ``-m risk`` acceptance tier. For a
+portfolio of geometric-basket calls that share one weight vector ``w``
+(normalized), the revalued value under a spot shock ``S_i → S_i e^{X_i}``
+depends on the shock only through the single normal variate
+
+    Y = Σ w_i X_i,   X ~ N(drifts·h, h·Σ)   ⇒   Y ~ N(m_Y, s_Y²),
+
+because the geometric basket level ``G = Π S_i^{w_i}`` scales by
+``e^Y`` and the Black formula for the basket depends on spots only
+through ``G``. Each contract's value is *increasing* in ``Y``, so the
+α-quantile of the revalued portfolio value is exactly the portfolio
+revalued at ``y_α = m_Y + s_Y z_α`` — spot-shock VaR has a closed form:
+
+    VaR_α = V(0-shock) − V(y_{1−α}).
+
+Expected shortfall integrates the same closed form over the lower tail
+with Gauss–Legendre quadrature (deterministic, no sampling), so the MC
+estimators can be held to statistically justified bands instead of
+loose sanity checks.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.analytic.geometric_basket import geometric_basket_price
+from repro.errors import ValidationError
+from repro.market.gbm import MultiAssetGBM
+from repro.utils.numerics import norm_ppf
+from repro.utils.validation import check_positive
+
+__all__ = ["shock_moments", "portfolio_value", "analytic_var", "analytic_es"]
+
+#: Gauss–Legendre nodes for the ES tail integral — generous for a
+#: one-dimensional smooth integrand; exact to machine noise in practice.
+_QUAD_NODES = 200
+
+#: Lower integration cut in tail standard deviations (Φ(-12) ~ 1.8e-33).
+_TAIL_CUT = 12.0
+
+
+def _weights(model: MultiAssetGBM, weights) -> np.ndarray:
+    w = np.atleast_1d(np.asarray(weights, dtype=float))
+    if w.size != model.dim:
+        raise ValidationError(
+            f"weights length {w.size} does not match model dim {model.dim}")
+    if np.any(w < 0) or w.sum() <= 0:
+        raise ValidationError("weights must be non-negative with positive sum")
+    return w / w.sum()
+
+
+def shock_moments(model: MultiAssetGBM, weights,
+                  horizon: float) -> tuple[float, float]:
+    """Mean and std-dev of ``Y = Σ w_i X_i`` for GBM log returns over
+    ``horizon`` (the one variate the portfolio value depends on)."""
+    h = check_positive("horizon", horizon)
+    w = _weights(model, weights)
+    m = float(np.dot(w, model.drifts)) * h
+    cov = model.correlation * np.outer(model.vols, model.vols)
+    s2 = float(w @ cov @ w) * h
+    return m, math.sqrt(max(s2, 0.0))
+
+
+def portfolio_value(model: MultiAssetGBM, weights, strikes,
+                    expiry: float, *, shock: float = 0.0) -> float:
+    """Closed-form value of the strike ladder of geometric-basket calls,
+    with every spot scaled by ``e^shock`` (the ``Y``-shocked book)."""
+    shocked = (model if shock == 0.0
+               else model.with_spots(model.spots * math.exp(shock)))
+    return float(sum(geometric_basket_price(shocked, weights, float(k), expiry)
+                     for k in strikes))
+
+
+def analytic_var(model: MultiAssetGBM, weights, strikes, expiry: float,
+                 horizon: float, level: float) -> float:
+    """Exact spot-shock VaR at ``level`` for the geometric-basket ladder."""
+    if not 0.0 < level < 1.0:
+        raise ValidationError(f"level must be in (0, 1), got {level!r}")
+    m, s = shock_moments(model, weights, horizon)
+    y_q = m + s * float(norm_ppf(1.0 - level))
+    base = portfolio_value(model, weights, strikes, expiry)
+    return base - portfolio_value(model, weights, strikes, expiry, shock=y_q)
+
+
+def analytic_es(model: MultiAssetGBM, weights, strikes, expiry: float,
+                horizon: float, level: float) -> float:
+    """Exact spot-shock expected shortfall at ``level``.
+
+    ``ES_α = V₀ − E[V(Y) | Y ≤ y_{1−α}]`` with the conditional
+    expectation computed by Gauss–Legendre quadrature of the closed-form
+    value against the normal density over ``[m − 12s, y_{1−α}]``.
+    """
+    if not 0.0 < level < 1.0:
+        raise ValidationError(f"level must be in (0, 1), got {level!r}")
+    m, s = shock_moments(model, weights, horizon)
+    base = portfolio_value(model, weights, strikes, expiry)
+    if s <= 0.0:
+        return 0.0
+    tail = 1.0 - level
+    y_q = m + s * float(norm_ppf(tail))
+    lo = m - _TAIL_CUT * s
+    nodes, wts = np.polynomial.legendre.leggauss(_QUAD_NODES)
+    y = 0.5 * (y_q - lo) * nodes + 0.5 * (y_q + lo)
+    half = 0.5 * (y_q - lo)
+    dens = np.exp(-0.5 * ((y - m) / s) ** 2) / (s * math.sqrt(2.0 * math.pi))
+    vals = np.array([portfolio_value(model, weights, strikes, expiry,
+                                     shock=float(yi)) for yi in y])
+    tail_mean = half * float(np.sum(wts * vals * dens)) / tail
+    return base - tail_mean

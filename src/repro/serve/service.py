@@ -307,13 +307,16 @@ class PricingService:
 def _revalue_task(task) -> float:
     """Discounted mean payoff of one contract over a scenario matrix."""
     payoff, scenarios, discount = task
-    return float(discount) * float(np.mean(payoff.terminal(scenarios)))
+    if np.ndim(discount) == 0:
+        return float(discount) * float(np.mean(payoff.terminal(scenarios)))
+    return float(np.mean(np.asarray(discount, dtype=float)
+                         * payoff.terminal(scenarios)))
 
 
 def revalue_scenarios(payoffs: Sequence, scenarios: np.ndarray, *,
                       backend: ExecutionBackend | None = None,
                       chunksize: int | str | None = "auto",
-                      discount: float = 1.0) -> list[float]:
+                      discount=1.0) -> list[float]:
     """Value many payoffs against one precomputed terminal-scenario matrix.
 
     The classic risk-management batch: simulate the market once (rows of
@@ -323,11 +326,22 @@ def revalue_scenarios(payoffs: Sequence, scenarios: np.ndarray, *,
     ``shm_min_bytes`` set ships it across the pool **once** through a
     shared-memory segment — benchmark F15 measures that against the
     per-task-pickle baseline.
+
+    ``discount`` is a scalar applied uniformly, or a length-``n_scenarios``
+    vector applying a per-scenario discount factor (rate-shocked scenario
+    sets discount each row at its own rate).
     """
     if scenarios.ndim != 2:
         raise ValidationError(
             f"scenarios must be (n_scenarios, dim), got shape {scenarios.shape}"
         )
+    discount = np.asarray(discount, dtype=float)
+    if discount.ndim == 0:
+        discount = float(discount)
+    elif discount.ndim != 1 or discount.shape[0] != scenarios.shape[0]:
+        raise ValidationError(
+            f"discount must be scalar or length {scenarios.shape[0]} "
+            f"(one per scenario), got shape {discount.shape}")
     own = backend is None
     backend = backend if backend is not None else SerialBackend()
     try:

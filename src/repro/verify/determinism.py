@@ -348,6 +348,42 @@ def check_gateway(n_paths: int, seed: int) -> list[DeterminismResult]:
     ]
 
 
+def check_risk(n_paths: int, seed: int) -> list[DeterminismResult]:
+    """Seeded risk sweeps must replay **bitwise**: the full-revaluation
+    P&L vector digest (base + every scenario value through the shared
+    price cache) and the priced gateway drive of the same sweep (price
+    stream + decision log). Catches drift in the shock generators, the
+    PSD repair, the revaluation batching, and the lane-tagged bridge."""
+    from repro.risk.bridge import run_risk_sweep
+    from repro.risk.scenarios import stress_scenarios
+    from repro.risk.var import revalue_book
+    from repro.workloads.generators import strike_strip
+
+    book = strike_strip(3, dim=2)
+    scenarios = stress_scenarios(2, 5, seed=seed)
+    paths = max(n_paths // 40, 250)
+
+    reports = [revalue_book(book, scenarios, n_paths=paths, seed=seed,
+                            levels=(0.95,))
+               for _ in range(2)]
+    out = [_verdict("risk", "full-revaluation pnl digest, 5 scenarios",
+                    {"run-a": reports[0].pnl_digest(),
+                     "run-b": reports[1].pnl_digest()})]
+
+    def one_sweep():
+        res = run_risk_sweep(book, scenarios, n_shards=2, n_paths=paths,
+                             seed=seed, priced=True)
+        return res.price_stream_digest(), res.decision_log_digest()
+
+    prices_a, decisions_a = one_sweep()
+    prices_b, decisions_b = one_sweep()
+    out.append(_verdict("risk", "gateway sweep, price stream digest",
+                        {"run-a": prices_a, "run-b": prices_b}))
+    out.append(_verdict("risk", "gateway sweep, decision log digest",
+                        {"run-a": decisions_a, "run-b": decisions_b}))
+    return out
+
+
 #: Name → check callable; each takes ``(n_paths, seed)``.
 DETERMINISM_CHECKS = {
     "backend-invariance": check_backend_invariance,
@@ -357,6 +393,7 @@ DETERMINISM_CHECKS = {
     "serve-batching": check_serve_batching,
     "strip-batching": check_strip_batching,
     "gateway": check_gateway,
+    "risk": check_risk,
 }
 
 

@@ -1,0 +1,170 @@
+"""``-m risk`` acceptance tier: the MC risk sweep backtested against the
+closed-form oracle.
+
+The book is a strike ladder of geometric-basket calls sharing one
+normalized weight vector, so spot-shock VaR/ES have closed forms
+(:mod:`repro.risk.analytic`): the revalued portfolio is monotone in the
+single variate ``Y = Σ w_i X_i``. The MC sweep draws the model's *true*
+``h``-day distribution (:func:`horizon_scenarios`) and full-revalues
+through the serving stack with common random numbers.
+
+Band justification — each acceptance band is statistical, not a tuned
+constant:
+
+* The empirical ``α``-VaR is an order statistic; its sampling
+  distribution spans quantile levels ``α ± z√(α(1−α)/n)``, so the MC
+  estimate must land between the analytic VaR evaluated at those two
+  bracket levels (z = 3, n = 1000), widened by a CRN-residual pricing
+  margin of one portfolio stderr (common random numbers cancel the MC
+  pricing bias between base and scenario values; the margin covers the
+  shock-dependent residual).
+* The empirical ES averages the tail order statistics; its error is
+  bounded by ``z · sd(tail)/√|tail|`` plus the same pricing margin.
+
+Everything is seeded: the whole module is bitwise reproducible, and the
+``risk`` determinism check in ``repro verify`` replays the same sweeps.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.market.gbm import MultiAssetGBM
+from repro.payoffs.basket import GeometricBasketCall
+from repro.risk.analytic import (analytic_es, analytic_var, portfolio_value,
+                                 shock_moments)
+from repro.risk.scenarios import horizon_scenarios
+from repro.risk.var import revalue_book, var_es
+from repro.serve.batching import PricingRequest
+from repro.serve.service import price_request
+from repro.workloads.generators import Workload
+
+pytestmark = pytest.mark.risk
+
+WEIGHTS = (0.5, 0.5)
+STRIKES = (95.0, 100.0, 105.0)
+EXPIRY = 1.0
+HORIZON = 10.0 / 252.0
+N_SCENARIOS = 1_000
+N_PATHS = 4_000
+SEED = 11
+LEVELS = (0.90, 0.95, 0.99)
+Z = 3.0
+
+
+def _model() -> MultiAssetGBM:
+    return MultiAssetGBM.equicorrelated(2, 100.0, 0.25, 0.05, 0.3)
+
+
+def _book(model):
+    return [Workload(f"gbc-{k:g}", model, GeometricBasketCall(WEIGHTS, k),
+                     EXPIRY) for k in STRIKES]
+
+
+@pytest.fixture(scope="module")
+def model():
+    return _model()
+
+
+@pytest.fixture(scope="module")
+def sweep(model):
+    """One seeded full-revaluation sweep, shared by the whole module."""
+    book = _book(model)
+    scenarios = horizon_scenarios(model, N_SCENARIOS, HORIZON, seed=SEED)
+    report = revalue_book(book, scenarios, n_paths=N_PATHS, seed=SEED,
+                          levels=LEVELS)
+    stderr = sum(price_request(PricingRequest(w, engine="mc",
+                                              n_paths=N_PATHS,
+                                              seed=SEED)).stderr
+                 for w in book)
+    return report, stderr
+
+
+class TestVarBacktest:
+    @pytest.mark.parametrize("level", LEVELS)
+    def test_mc_var_inside_order_statistic_bracket(self, model, sweep, level):
+        report, stderr = sweep
+        mc_var = report.levels[level][0]
+        delta = Z * math.sqrt(level * (1.0 - level) / N_SCENARIOS)
+        lo = analytic_var(model, WEIGHTS, STRIKES, EXPIRY, HORIZON,
+                          level - delta)
+        hi = analytic_var(model, WEIGHTS, STRIKES, EXPIRY, HORIZON,
+                          min(level + delta, 1.0 - 0.5 / N_SCENARIOS))
+        assert lo - stderr <= mc_var <= hi + stderr, (
+            f"{level:.0%} VaR {mc_var:.4f} outside "
+            f"[{lo - stderr:.4f}, {hi + stderr:.4f}]")
+
+    @pytest.mark.parametrize("level", LEVELS)
+    def test_mc_es_matches_analytic_within_tail_stderr(self, model, sweep,
+                                                       level):
+        report, stderr = sweep
+        mc_es = report.levels[level][1]
+        oracle = analytic_es(model, WEIGHTS, STRIKES, EXPIRY, HORIZON, level)
+        losses = np.sort(-np.asarray(report.pnl))
+        tail = losses[max(int(math.ceil(level * N_SCENARIOS)), 1) - 1:]
+        es_se = (tail.std(ddof=1) / math.sqrt(tail.size)
+                 if tail.size > 1 else 0.0)
+        band = Z * es_se + stderr
+        assert abs(mc_es - oracle) <= band, (
+            f"{level:.0%} ES {mc_es:.4f} vs analytic {oracle:.4f} "
+            f"(band {band:.4f})")
+
+    def test_es_dominates_var_everywhere(self, sweep):
+        report, _ = sweep
+        for level in LEVELS:
+            var, es = report.levels[level]
+            assert es >= var
+        # and at a few extra levels over the same P&L sample
+        for level in (0.5, 0.75, 0.999):
+            var, es = var_es(report.pnl, level)
+            assert es >= var
+
+    def test_var_monotone_in_level(self, sweep):
+        report, _ = sweep
+        vars_ = [report.levels[lv][0] for lv in LEVELS]
+        assert vars_ == sorted(vars_)
+
+    def test_base_value_matches_closed_form(self, model, sweep):
+        report, stderr = sweep
+        oracle = portfolio_value(model, WEIGHTS, STRIKES, EXPIRY)
+        assert abs(report.base_value - oracle) <= Z * stderr
+
+
+class TestAnalyticOracle:
+    def test_shock_moments_match_direct_formula(self, model):
+        m, s = shock_moments(model, WEIGHTS, HORIZON)
+        w = np.asarray(WEIGHTS)
+        cov = model.correlation * np.outer(model.vols, model.vols)
+        assert m == pytest.approx(float(w @ model.drifts) * HORIZON)
+        assert s == pytest.approx(math.sqrt(float(w @ cov @ w) * HORIZON))
+
+    def test_analytic_es_dominates_var(self, model):
+        for level in LEVELS:
+            es = analytic_es(model, WEIGHTS, STRIKES, EXPIRY, HORIZON, level)
+            var = analytic_var(model, WEIGHTS, STRIKES, EXPIRY, HORIZON,
+                               level)
+            assert es >= var > 0
+
+    def test_analytic_var_monotone_in_level(self, model):
+        grid = [analytic_var(model, WEIGHTS, STRIKES, EXPIRY, HORIZON, lv)
+                for lv in (0.8, 0.9, 0.95, 0.99)]
+        assert grid == sorted(grid)
+
+
+class TestSeededReplay:
+    def test_sweep_replays_bitwise(self, model):
+        book = _book(model)
+        scenarios = horizon_scenarios(model, 40, HORIZON, seed=SEED)
+        digests = {revalue_book(book, scenarios, n_paths=600, seed=SEED,
+                                levels=(0.9,)).pnl_digest()
+                   for _ in range(2)}
+        assert len(digests) == 1
+
+    def test_registered_determinism_check_is_green(self):
+        from repro.verify.determinism import DETERMINISM_CHECKS
+
+        results = DETERMINISM_CHECKS["risk"](2_000, 5)
+        assert results and all(r.ok for r in results)

@@ -306,6 +306,21 @@ class TestRevalueScenarios:
         with pytest.raises(ValidationError):
             revalue_scenarios([Call(100.0)], np.zeros(5))
 
+    def test_per_scenario_discount_vector(self):
+        scen = self._scenarios(n=500)
+        payoffs = [BasketCall([1 / 3] * 3, k) for k in (90.0, 110.0)]
+        disc = np.exp(-0.05 * np.linspace(0.5, 2.0, scen.shape[0]))
+        got = revalue_scenarios(payoffs, scen, discount=disc)
+        ref = [float(np.mean(disc * p.terminal(scen))) for p in payoffs]
+        assert [float_bits(x) for x in got] == [float_bits(x) for x in ref]
+
+    def test_discount_vector_length_mismatch_raises(self):
+        scen = self._scenarios(n=100)
+        with pytest.raises(ValidationError):
+            revalue_scenarios([Call(100.0)], scen, discount=np.ones(99))
+        with pytest.raises(ValidationError):
+            revalue_scenarios([Call(100.0)], scen, discount=np.ones((100, 1)))
+
 
 class TestPortfolioServeIntegration:
     def test_portfolio_cache_and_backend_bitwise(self):
