@@ -91,6 +91,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_scale.add_argument("--beta", type=float, default=1e-8,
                          help="per-byte cost [s/B]")
     p_scale.add_argument("--seed", type=int, default=0)
+    p_scale.add_argument("--scheduler", choices=("static", "lpt", "steal"),
+                         default=None,
+                         help="execute-stage scheduler for the real backend "
+                              "(placement only; prices are scheduler-"
+                              "invariant bitwise)")
     p_scale.add_argument("--emit-trace", metavar="PREFIX", default=None,
                          help="after the sweep, re-run the largest P with the "
                               "tracer on and write PREFIX.trace.json + "
@@ -359,15 +364,17 @@ def _cmd_engines(args: argparse.Namespace) -> int:
             cases_by_family.setdefault(family, []).append(case.name)
 
     registry = default_registry()
-    table = Table(["engine", "kind", "capabilities", "max dim", "corpus cases",
-                   "summary"],
+    table = Table(["engine", "kind", "capabilities", "sched", "max dim",
+                   "corpus cases", "summary"],
                   title=f"{len(registry)} registered engine families")
     for spec in registry.specs():
         kind = "pipeline" if spec.pipeline is not None else "reference"
         caps = spec.capabilities
         max_dim = "-" if caps.max_dim is None else str(caps.max_dim)
+        sched = "static,lpt,steal" if caps.schedulable else "static"
         table.add_row([spec.name, kind, ",".join(caps.flags()) or "-",
-                       max_dim, str(len(cases_by_family.get(spec.name, []))),
+                       sched, max_dim,
+                       str(len(cases_by_family.get(spec.name, []))),
                        spec.summary])
     if args.csv:
         from repro.perf.reporting import table_to_csv
@@ -392,7 +399,20 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
         print("error: --plist needs positive processor counts", file=sys.stderr)
         return 2
     spec = MachineSpec(alpha=args.alpha, beta=args.beta)
-    w, pricer, label = default_registry().get(args.engine).scaling(args, spec)
+    registry = default_registry()
+    scheduler = getattr(args, "scheduler", None)
+    if scheduler not in (None, "static") and \
+            args.engine not in registry.names(schedulable=True):
+        print(f"error: engine {args.engine!r} is not schedulable; "
+              f"--scheduler {scheduler} needs one of "
+              f"{','.join(registry.names(schedulable=True))}",
+              file=sys.stderr)
+        return 2
+    w, pricer, label = registry.get(args.engine).scaling(args, spec)
+    if scheduler is not None:
+        from repro.parallel.sched import make_scheduler
+
+        pricer.scheduler = make_scheduler(scheduler)
     exp = ScalingExperiment(pricer, w.model, w.payoff, w.expiry, label=label)
     print(exp.report(p_list))
     if args.emit_trace:

@@ -66,6 +66,9 @@ class ParallelMCGreeks:
     chunksize : rank tasks per backend dispatch (transport only).
     record, tracer, metrics : shared-runner middleware, as in the other
         parallel pricers.
+    scheduler : optional execute-stage scheduler (instance or strategy
+        name); placement only — the Greeks are scheduler-invariant
+        bitwise. Default ``None``: the historical static path.
     """
 
     def __init__(
@@ -82,6 +85,7 @@ class ParallelMCGreeks:
         record: bool = False,
         tracer=None,
         metrics=None,
+        scheduler=None,
     ):
         self.n_paths = check_positive_int("n_paths", n_paths)
         self.rel_bump = check_positive("rel_bump", rel_bump)
@@ -94,6 +98,8 @@ class ParallelMCGreeks:
         self.record = bool(record)
         self.tracer = tracer
         self.metrics = metrics
+        #: Execute-stage scheduler (None = static), as in ParallelMCPricer.
+        self.scheduler = scheduler
 
     def _bumped_models(self, model: MultiAssetGBM):
         """base + per-asset spot up/down + per-asset vol up/down."""

@@ -80,6 +80,11 @@ class ParallelMCPricer:
     metrics : optional :class:`~repro.obs.MetricsRegistry`; each run feeds
         the shared ``engine.runs`` / ``engine.wall_s`` / ``engine.sim_s``
         series, labeled by engine name.
+    scheduler : optional :class:`~repro.parallel.sched.Scheduler` or
+        strategy name ("static" | "lpt" | "steal") deciding how rank
+        tasks meet the backend's workers. Placement only — the estimate
+        is scheduler-invariant bitwise (the ``scheduler`` determinism
+        check gates this). Default ``None``: the historical static path.
     """
 
     def __init__(
@@ -100,6 +105,7 @@ class ParallelMCPricer:
         tracer=None,
         chunksize: int | str | None = None,
         metrics=None,
+        scheduler=None,
     ):
         self.n_paths = check_positive_int("n_paths", n_paths)
         self.technique = technique if technique is not None else PlainMC()
@@ -125,6 +131,9 @@ class ParallelMCPricer:
         #: estimate is chunking-invariant (asserted in the backend tests).
         self.chunksize = chunksize
         self.metrics = metrics
+        #: Execute-stage scheduler (None = static). The runner resolves
+        #: names via repro.parallel.sched.resolve_scheduler.
+        self.scheduler = scheduler
 
     # ------------------------------------------------------------------
 

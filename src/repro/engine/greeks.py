@@ -62,6 +62,9 @@ class GreeksEngine(PipelineEngine):
 
     name = GREEKS
     worker = staticmethod(_greeks_rank_task)
+    # CRN substreams are cloned per rank and merged by index, so a
+    # scheduler may re-place rank tasks freely (greeks stay bitwise).
+    schedulable = True
 
     def plan(self, job: PricingJob) -> ExecutionPlan:
         cfg = self.config
@@ -97,6 +100,10 @@ class GreeksEngine(PipelineEngine):
                                       counts[r], subs[r]))
             for r in range(plan.p)
         ]
+
+    def task_costs(self, plan: ExecutionPlan) -> Sequence[float]:
+        """Per-rank path counts — the LPT scheduler's cost estimates."""
+        return [float(c) for c in plan.scratch["counts"]]
 
     def account(self, plan: ExecutionPlan, ctx: PipelineContext,
                 fault_report: Optional[RunReport]) -> None:

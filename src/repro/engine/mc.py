@@ -98,6 +98,9 @@ class MCEngine(PipelineEngine):
     worker = staticmethod(_rank_task)
     batchable = True
     strip_worker = staticmethod(_strip_rank_task)
+    # Rank tasks are independent substreams reduced by index, so a
+    # scheduler may re-place them freely (prices stay bitwise).
+    schedulable = True
 
     # -- plan -----------------------------------------------------------
 
@@ -160,6 +163,10 @@ class MCEngine(PipelineEngine):
     def partition(self, plan: ExecutionPlan) -> Sequence[RankTask]:
         return [RankTask(rank=r, payload=task)
                 for r, task in enumerate(plan.scratch["tasks"])]
+
+    def task_costs(self, plan: ExecutionPlan) -> Sequence[float]:
+        """Per-rank path counts — the LPT scheduler's cost estimates."""
+        return [float(c) for c in plan.scratch["counts"]]
 
     def plan_strip(self, job: StripJob) -> ExecutionPlan:
         """Plan a fused strip run: the single-contract plan with the payoff

@@ -163,6 +163,12 @@ class PipelineEngine:
     batchable: bool = False
     #: Module-level worker mapped over strip task payloads, or ``None``.
     strip_worker: Optional[Callable[[Any], Any]] = None
+    #: Whether the engine's rank tasks may be re-placed by a non-static
+    #: :class:`~repro.parallel.sched.Scheduler` (LPT / work stealing).
+    #: True only for mapped engines whose tasks are independent and
+    #: reassembled by index; mirrored by the registry's ``schedulable``
+    #: capability flag.
+    schedulable: bool = False
 
     def __init__(self, config: Any):
         self.config = config
@@ -174,6 +180,12 @@ class PipelineEngine:
 
     def partition(self, plan: ExecutionPlan) -> Optional[Sequence[RankTask]]:
         """Rank tasks for the backend map; ``None`` for inline engines."""
+        return None
+
+    def task_costs(self, plan: ExecutionPlan) -> Optional[Sequence[float]]:
+        """Per-task cost estimates for cost-aware schedulers (LPT), in
+        :meth:`partition` order; ``None`` when the engine has no estimate
+        (schedulers then fall back to submission order)."""
         return None
 
     def execute(self, plan: ExecutionPlan, ctx: PipelineContext) -> Any:

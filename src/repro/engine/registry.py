@@ -48,7 +48,10 @@ class EngineCapabilities:
     a widened CI (the ``degrade`` fault policy); ``supports_qmc`` marks
     families that accept a quasi-Monte Carlo technique; ``batchable``
     marks families whose pipeline engine implements the fused strip
-    stages (:mod:`repro.batch` groups cache-missed requests by these).
+    stages (:mod:`repro.batch` groups cache-missed requests by these);
+    ``schedulable`` marks families whose rank tasks a non-static
+    :class:`~repro.parallel.sched.Scheduler` (LPT / work stealing) may
+    re-place across workers.
     """
 
     stochastic: bool = False
@@ -56,6 +59,7 @@ class EngineCapabilities:
     degradable: bool = False
     supports_qmc: bool = False
     batchable: bool = False
+    schedulable: bool = False
     max_dim: Optional[int] = None
 
     def flags(self) -> Tuple[str, ...]:
@@ -71,6 +75,8 @@ class EngineCapabilities:
             out.append("qmc")
         if self.batchable:
             out.append("batchable")
+        if self.schedulable:
+            out.append("schedulable")
         return tuple(out)
 
 
@@ -141,8 +147,8 @@ class EngineRegistry:
 
     def names(self, *, parallel: bool = False, servable: bool = False,
               reference: bool = False, scalable: bool = False,
-              traceable: bool = False,
-              batchable: bool = False) -> Tuple[str, ...]:
+              traceable: bool = False, batchable: bool = False,
+              schedulable: bool = False) -> Tuple[str, ...]:
         """Engine names in registration order, optionally filtered by the
         subsystems the family participates in (flags AND together)."""
         out = []
@@ -158,6 +164,8 @@ class EngineRegistry:
             if traceable and spec.trace is None:
                 continue
             if batchable and not spec.capabilities.batchable:
+                continue
+            if schedulable and not spec.capabilities.schedulable:
                 continue
             out.append(spec.name)
         return tuple(out)
@@ -349,7 +357,8 @@ def default_registry() -> EngineRegistry:
         name=MC,
         summary="path-partitioned Monte Carlo with tree reduction",
         capabilities=EngineCapabilities(stochastic=True, degradable=True,
-                                        supports_qmc=True, batchable=True),
+                                        supports_qmc=True, batchable=True,
+                                        schedulable=True),
         pipeline=_pipeline_mc,
         serve=_serve_mc,
         oracle=_oracle_hook(MC),
@@ -404,7 +413,7 @@ def default_registry() -> EngineRegistry:
     reg.register(EngineSpec(
         name=GREEKS,
         summary="CRN bump-and-revalue Greeks over the MC decomposition",
-        capabilities=EngineCapabilities(stochastic=True),
+        capabilities=EngineCapabilities(stochastic=True, schedulable=True),
         pipeline=_pipeline_greeks,
     ))
     _DEFAULT = reg

@@ -13,8 +13,13 @@ engine's stages:
    :func:`~repro.parallel.faults.resilient_map` when a non-empty fault
    plan is configured (plain chunked ``backend.map`` otherwise); inline
    engines run their loops and then pass through
-   :func:`~repro.parallel.faults.simulate_recovery`. Either way the
-   wall clock is measured by one shared :class:`~repro.perf.timer.Timer`;
+   :func:`~repro.parallel.faults.simulate_recovery`. A config-attached
+   :class:`~repro.parallel.sched.Scheduler` (``pricer.scheduler =
+   "steal"``) re-places mapped tasks across workers — LPT over the
+   engine's ``task_costs`` estimates, or work stealing — without moving a
+   price bit; scheduling stats land in engine metrics and the ledger
+   record's ``extra["sched"]``. Either way the wall clock is measured by
+   one shared :class:`~repro.perf.timer.Timer`;
 4. ``account`` / ``reduce`` (engine) — simulated cost charging and the
    reduction, which travels the modeled machine's schedule;
 5. **report middleware** — the runner assembles the
@@ -42,14 +47,24 @@ determinism checks gate on.
 from __future__ import annotations
 
 import time
-from contextlib import nullcontext
-from typing import Any, ContextManager, List, Optional, Sequence, Tuple
+from contextlib import contextmanager, nullcontext
+from typing import (
+    Any,
+    Callable,
+    ContextManager,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.engine.pipeline import (
     Estimate,
     PipelineContext,
     PipelineEngine,
     PricingJob,
+    RankTask,
     StripJob,
 )
 from repro.engine.result import ParallelRunResult
@@ -57,6 +72,7 @@ from repro.errors import ValidationError
 from repro.obs.ledger import active_ledger, new_run_id, record_from_result
 from repro.parallel.backends import SerialBackend
 from repro.parallel.faults import FaultPolicy, resilient_map, simulate_recovery
+from repro.parallel.sched import Scheduler, resolve_scheduler
 from repro.parallel.simcluster import SimulatedCluster
 from repro.perf.timer import Timer
 
@@ -80,6 +96,110 @@ def _profile_ctx(cfg: Any, label: str) -> ContextManager[Any]:
     return ctx
 
 
+class _StageTimer:
+    """One wall-clock timer feeding the ledger's per-stage ``stages{}``.
+
+    ``with timer.stage("plan"): ...`` replaces the hand-rolled
+    ``t0..t3``/``perf_counter`` bookkeeping that ``run_pipeline`` and
+    ``run_strip`` used to duplicate; re-entering a name accumulates, so a
+    split stage still reports one number.
+    """
+
+    def __init__(self) -> None:
+        self.stages: dict[str, float] = {}
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            dt = time.perf_counter() - t0
+            self.stages[name] = self.stages.get(name, 0.0) + dt
+
+
+def _scheduler_for(cfg: Any, engine: PipelineEngine,
+                   tasks: Optional[Sequence[RankTask]]) -> Optional[Scheduler]:
+    """Resolve the config's execute-stage scheduler, gated by capability.
+
+    ``cfg.scheduler`` follows the obs attachment idiom (plain attribute
+    assignment; absent means the historical static path, bitwise). A
+    non-static strategy requires a mapped engine that declares
+    ``schedulable`` — inline engines run their own loops and have nothing
+    to steal, and non-schedulable mapped engines have order-dependent
+    reassembly the scheduler must not touch.
+    """
+    value = getattr(cfg, "scheduler", None)
+    if value is None:
+        return None
+    scheduler = resolve_scheduler(value)
+    if scheduler.name == "static":
+        return scheduler
+    if tasks is None:
+        raise ValidationError(
+            f"engine {engine.name!r} runs inline; only the 'static' "
+            f"scheduler applies (got {scheduler.name!r})"
+        )
+    if not engine.schedulable:
+        raise ValidationError(
+            f"engine {engine.name!r} is not schedulable; see "
+            f"EngineCapabilities.schedulable"
+        )
+    return scheduler
+
+
+def _mapped_execute(
+    cfg: Any,
+    worker: Callable[[Any], Any],
+    payloads: List[Any],
+    *,
+    faults: Any,
+    policy: FaultPolicy,
+    run_id: Optional[str],
+    scheduler: Optional[Scheduler],
+    costs: Optional[Sequence[float]],
+) -> Tuple[list, Optional[Any], Optional[Any]]:
+    """The shared mapped-engine execute stage (pipeline and strip runs).
+
+    Returns ``(state, fault_report, sched_stats)``. With neither faults
+    nor a scheduler configured this is the historical fault-free fast
+    path — one ``backend.map``, one branch of overhead (benchmark F13).
+    """
+    backend = getattr(cfg, "backend", None)
+    if backend is None:
+        backend = SerialBackend()
+    chunksize = getattr(cfg, "chunksize", None)
+    inject = faults is not None and not faults.is_empty
+    if inject:
+        state, fault_report = resilient_map(
+            backend, worker, payloads,
+            plan=faults, policy=policy, chunksize=chunksize,
+            run_id=run_id, scheduler=scheduler, costs=costs,
+        )
+        return state, fault_report, fault_report.sched
+    if scheduler is None:
+        return backend.map(worker, payloads, chunksize=chunksize), None, None
+    state, sched_stats = scheduler.map(backend, worker, payloads,
+                                       costs=costs, chunksize=chunksize)
+    return state, None, sched_stats
+
+
+def _observe_sched(cfg: Any, engine: PipelineEngine, sched_stats: Any,
+                   extra: Optional[dict]) -> Optional[dict]:
+    """Fold scheduling stats into engine metrics and the ledger extra."""
+    if sched_stats is None:
+        return extra
+    metrics = getattr(cfg, "metrics", None)
+    if metrics is not None:
+        metrics.counter("sched.steals", engine=engine.name).inc(
+            sched_stats.steals)
+        metrics.counter("sched.tasks_moved", engine=engine.name).inc(
+            sched_stats.tasks_moved)
+    merged = dict(extra) if extra else {}
+    merged["sched"] = sched_stats.ledger_extra()
+    return merged
+
+
 def run_pipeline(
     engine: PipelineEngine,
     model: Any,
@@ -94,47 +214,37 @@ def run_pipeline(
     """
     cfg = engine.config
     ledger = _ledger_for(cfg)
-    stages: dict[str, float] = {}
+    timer = _StageTimer()
+    stages = timer.stages
 
-    t0 = time.perf_counter()
-    plan = engine.plan(PricingJob(model=model, payoff=payoff,
-                                  expiry=expiry, p=p))
-    t1 = time.perf_counter()
-    tasks = engine.partition(plan)
-    stages["plan"] = t1 - t0
-    stages["partition"] = time.perf_counter() - t1
+    with timer.stage("plan"):
+        plan = engine.plan(PricingJob(model=model, payoff=payoff,
+                                      expiry=expiry, p=p))
+    with timer.stage("partition"):
+        tasks = engine.partition(plan)
 
     faults = getattr(cfg, "faults", None)
     policy: FaultPolicy = getattr(cfg, "policy", None) or FaultPolicy.parse(None)
     tracer = getattr(cfg, "tracer", None)
     record = bool(getattr(cfg, "record", False))
     run_id = new_run_id() if (ledger is not None or tracer is not None) else None
+    scheduler = _scheduler_for(cfg, engine, tasks)
     cluster = SimulatedCluster(plan.p, cfg.spec, record=record,
                                faults=faults, tracer=tracer)
     ctx = PipelineContext(cluster=cluster, tracer=tracer, timer=Timer())
+    sched_stats: Optional[Any] = None
 
     if tasks is not None:
-        # Mapped engine: fault + chunking middleware around one backend.map.
-        backend = getattr(cfg, "backend", None)
-        if backend is None:
-            backend = SerialBackend()
-        chunksize = getattr(cfg, "chunksize", None)
+        # Mapped engine: scheduler + fault + chunking middleware around
+        # the backend map.
         payloads = [task.payload for task in tasks]
         assert engine.worker is not None, f"{engine.name} engine has no worker"
-        inject = faults is not None and not faults.is_empty
+        costs = engine.task_costs(plan) if scheduler is not None else None
         with ctx.timer, _profile_ctx(cfg, f"{engine.name}.execute"):
-            if inject:
-                state, fault_report = resilient_map(
-                    backend, engine.worker, payloads,
-                    plan=faults, policy=policy, chunksize=chunksize,
-                    run_id=run_id,
-                )
-            else:
-                # Fault-free fast path: identical to the pre-resilience
-                # code (one branch of overhead — asserted by benchmark F13).
-                state = backend.map(engine.worker, payloads,
-                                    chunksize=chunksize)
-                fault_report = None
+            state, fault_report, sched_stats = _mapped_execute(
+                cfg, engine.worker, payloads, faults=faults, policy=policy,
+                run_id=run_id, scheduler=scheduler, costs=costs,
+            )
         engine.account(plan, ctx, fault_report)
     else:
         # Inline engine: the arithmetic is the sequential reference, so
@@ -146,13 +256,11 @@ def run_pipeline(
                                          engine=engine.name)
     stages["execute"] = ctx.timer.elapsed
 
-    t2 = time.perf_counter()
-    estimate = engine.reduce(plan, state, ctx, fault_report)
-    t3 = time.perf_counter()
-    rep = cluster.report()
-    meta = engine.report(plan, estimate, ctx, fault_report)
-    stages["reduce"] = t3 - t2
-    stages["report"] = time.perf_counter() - t3
+    with timer.stage("reduce"):
+        estimate = engine.reduce(plan, state, ctx, fault_report)
+    with timer.stage("report"):
+        rep = cluster.report()
+        meta = engine.report(plan, estimate, ctx, fault_report)
     if record:
         meta["cluster"] = cluster
 
@@ -178,10 +286,12 @@ def run_pipeline(
             result.wall_time)
         metrics.histogram("engine.sim_s", engine=engine.name).observe(
             result.sim_time)
+    extra = _observe_sched(cfg, engine, sched_stats, None)
     if ledger is not None:
         ledger.append(record_from_result(
             result, run_id=run_id or new_run_id(), kind="engine",
-            config=cfg, stages=stages, fault_report=fault_report))
+            config=cfg, stages=stages, fault_report=fault_report,
+            extra=extra))
     return result, estimate
 
 
@@ -227,45 +337,37 @@ def run_strip(
         )
     cfg = engine.config
     ledger = _ledger_for(cfg)
-    stages: dict[str, float] = {}
+    timer = _StageTimer()
+    stages = timer.stages
 
-    t0 = time.perf_counter()
-    job = StripJob.from_payoffs(model, payoffs, expiry, p)
-    plan = engine.plan_strip(job)
-    t1 = time.perf_counter()
-    tasks = engine.partition(plan)
-    stages["plan"] = t1 - t0
-    stages["partition"] = time.perf_counter() - t1
+    with timer.stage("plan"):
+        job = StripJob.from_payoffs(model, payoffs, expiry, p)
+        plan = engine.plan_strip(job)
+    with timer.stage("partition"):
+        tasks = engine.partition(plan)
 
     faults = getattr(cfg, "faults", None)
     policy: FaultPolicy = getattr(cfg, "policy", None) or FaultPolicy.parse(None)
     tracer = getattr(cfg, "tracer", None)
     record = bool(getattr(cfg, "record", False))
     run_id = new_run_id() if (ledger is not None or tracer is not None) else None
+    scheduler = _scheduler_for(cfg, engine, tasks)
     cluster = SimulatedCluster(plan.p, cfg.spec, record=record,
                                faults=faults, tracer=tracer)
     ctx = PipelineContext(cluster=cluster, tracer=tracer, timer=Timer())
+    sched_stats: Optional[Any] = None
 
     if tasks is not None:
-        backend = getattr(cfg, "backend", None)
-        if backend is None:
-            backend = SerialBackend()
-        chunksize = getattr(cfg, "chunksize", None)
         payloads = [task.payload for task in tasks]
         assert engine.strip_worker is not None, (
             f"{engine.name} engine has no strip worker")
-        inject = faults is not None and not faults.is_empty
+        costs = engine.task_costs(plan) if scheduler is not None else None
         with ctx.timer, _profile_ctx(cfg, f"{engine.name}.execute_strip"):
-            if inject:
-                state, fault_report = resilient_map(
-                    backend, engine.strip_worker, payloads,
-                    plan=faults, policy=policy, chunksize=chunksize,
-                    run_id=run_id,
-                )
-            else:
-                state = backend.map(engine.strip_worker, payloads,
-                                    chunksize=chunksize)
-                fault_report = None
+            state, fault_report, sched_stats = _mapped_execute(
+                cfg, engine.strip_worker, payloads, faults=faults,
+                policy=policy, run_id=run_id, scheduler=scheduler,
+                costs=costs,
+            )
         engine.account(plan, ctx, fault_report)
     else:
         with ctx.timer, _profile_ctx(cfg, f"{engine.name}.execute_strip"):
@@ -274,9 +376,8 @@ def run_strip(
                                          engine=engine.name)
     stages["execute"] = ctx.timer.elapsed
 
-    t2 = time.perf_counter()
-    estimates = engine.reduce_strip(plan, state, ctx, fault_report)
-    stages["reduce"] = time.perf_counter() - t2
+    with timer.stage("reduce"):
+        estimates = engine.reduce_strip(plan, state, ctx, fault_report)
     rep = cluster.report()
     results: List[ParallelRunResult] = []
     for index, estimate in enumerate(estimates):
@@ -308,9 +409,11 @@ def run_strip(
             ctx.timer.elapsed)
         metrics.histogram("engine.sim_s", engine=engine.name).observe(
             rep["elapsed"])
+    extra = _observe_sched(cfg, engine, sched_stats,
+                           {"contracts": len(results)})
     if ledger is not None and results:
         ledger.append(record_from_result(
             results[0], run_id=run_id or new_run_id(), kind="strip",
             config=cfg, stages=stages, fault_report=fault_report,
-            extra={"contracts": len(results)}))
+            extra=extra))
     return results

@@ -63,7 +63,8 @@ class ShardedGateway:
     def __init__(self, n_shards: int = 2, *, max_queue: int = 64,
                  cache_capacity: int = 512, service_hint_s: float = 0.05,
                  ewma_alpha: float = 0.2, headroom: float = 1.0,
-                 metrics: MetricsRegistry | None = None, ledger=None):
+                 metrics: MetricsRegistry | None = None, ledger=None,
+                 scheduler=None):
         check_positive_int("n_shards", n_shards)
         self.n_shards = n_shards
         self.metrics = metrics
@@ -71,11 +72,15 @@ class ShardedGateway:
                                 service_hint_s=service_hint_s,
                                 ewma_alpha=ewma_alpha, headroom=headroom,
                                 metrics=metrics)
+        # ``scheduler`` flows to every shard's service unchanged — shard
+        # routing is by request key, the execute-stage scheduler only
+        # decides worker placement inside a shard's batches.
         self.services = [
             PricingService(SerialBackend(),
                            cache=PriceCache(cache_capacity, metrics=metrics,
                                             labels={"shard": str(i)}),
-                           max_batch=1, metrics=metrics, ledger=ledger)
+                           max_batch=1, metrics=metrics, ledger=ledger,
+                           scheduler=scheduler)
             for i in range(n_shards)
         ]
         self._futures: dict[int, asyncio.Future] = {}

@@ -43,12 +43,21 @@ __all__ = [
 
 @dataclass
 class StageStats:
-    """Timing distribution of one (kind, engine, stage) across records."""
+    """Timing distribution of one (kind, engine, stage) across records.
+
+    ``wall`` rows additionally aggregate the records' scheduler fields
+    (``extra["sched"]``: strategy, steals, tasks moved) — display only;
+    the diff bands never read them, so scheduling metadata can never flip
+    a perf gate.
+    """
 
     kind: str
     engine: str
     stage: str
     histogram: Histogram = field(default_factory=Histogram)
+    sched_strategies: set = field(default_factory=set)
+    steals: int = 0
+    tasks_moved: int = 0
 
     @property
     def count(self) -> int:
@@ -65,6 +74,22 @@ class StageStats:
 
     def quantile(self, q: float) -> float:
         return self.histogram.quantile(q)
+
+    def observe_sched(self, sched: dict) -> None:
+        """Fold one record's ``extra["sched"]`` into the aggregate."""
+        strategy = sched.get("strategy")
+        if strategy:
+            self.sched_strategies.add(str(strategy))
+        self.steals += int(sched.get("steals", 0))
+        self.tasks_moved += int(sched.get("tasks_moved", 0))
+
+    @property
+    def sched_label(self) -> str:
+        """Compact scheduler column: ``strategy:steals/moved`` or ``-``."""
+        if not self.sched_strategies:
+            return "-"
+        names = ",".join(sorted(self.sched_strategies))
+        return f"{names}:{self.steals}/{self.tasks_moved}"
 
 
 def _key(record: RunRecord, stage: str) -> tuple[str, str, str]:
@@ -90,6 +115,9 @@ def summarize_ledger(records: Iterable[RunRecord]) -> dict[tuple[str, str, str],
         for stage, seconds in record.stages.items():
             _observe(_key(record, stage), seconds)
         _observe(_key(record, "wall"), record.wall_s)
+        sched = (record.extra or {}).get("sched")
+        if isinstance(sched, dict):
+            out[_key(record, "wall")].observe_sched(sched)
     if n == 0:
         raise ValidationError("ledger holds no records to summarize")
     return out
@@ -187,15 +215,17 @@ def diff_ledgers(base: Iterable[RunRecord], new: Iterable[RunRecord], *,
 
 def report_table(stats: dict[tuple[str, str, str], StageStats], *,
                  title: str = "run-ledger summary") -> Table:
-    """Per-stage table: runs, mean, p50, p99, max and relative noise."""
+    """Per-stage table: runs, mean, p50, p99, max, relative noise and the
+    scheduler aggregate (``strategy:steals/moved``, ``wall`` rows only)."""
     table = Table(["kind", "engine", "stage", "runs", "mean [s]", "p50 [s]",
-                   "p99 [s]", "max [s]", "cv"],
+                   "p99 [s]", "max [s]", "cv", "sched"],
                   title=title, floatfmt=".4g")
     for key in sorted(stats):
         s = stats[key]
         table.add_row([s.kind, s.engine, s.stage, s.count, s.mean,
                        s.quantile(0.5), s.quantile(0.99),
-                       s.histogram.max if s.count else 0.0, s.cv])
+                       s.histogram.max if s.count else 0.0, s.cv,
+                       s.sched_label])
     return table
 
 

@@ -16,6 +16,11 @@ Three layers:
   (crashes, stragglers, dropped/corrupted results) plus the resilience
   plumbing: failure policies (fail-fast / retry-with-backoff / degrade),
   a resilient map over any backend, and byte-reproducible run reports.
+* :mod:`~repro.parallel.sched` — pluggable execute-stage schedulers
+  (static block chunks, LPT over cost estimates, seeded work stealing)
+  deciding task→worker placement on the real backends, plus a
+  virtual-time schedule simulator for the simulated machine. Placement
+  only: results reassemble by task index, so prices never move.
 """
 
 from repro.parallel.partition import (
@@ -33,6 +38,20 @@ from repro.parallel.backends import (
     ProcessBackend,
     suggest_chunksize,
     ChunkAutotuner,
+    TaskHandle,
+)
+from repro.parallel.sched import (
+    SCHEDULER_NAMES,
+    Scheduler,
+    StaticChunkScheduler,
+    LPTScheduler,
+    WorkStealingScheduler,
+    SchedStats,
+    StealEvent,
+    VirtualSchedule,
+    simulate_schedule,
+    make_scheduler,
+    resolve_scheduler,
 )
 from repro.parallel.shm import SharedArrayRef, ShmSession, ShmWorker
 from repro.parallel.simcluster import (
@@ -72,6 +91,18 @@ __all__ = [
     "ProcessBackend",
     "suggest_chunksize",
     "ChunkAutotuner",
+    "TaskHandle",
+    "SCHEDULER_NAMES",
+    "Scheduler",
+    "StaticChunkScheduler",
+    "LPTScheduler",
+    "WorkStealingScheduler",
+    "SchedStats",
+    "StealEvent",
+    "VirtualSchedule",
+    "simulate_schedule",
+    "make_scheduler",
+    "resolve_scheduler",
     "SharedArrayRef",
     "ShmSession",
     "ShmWorker",

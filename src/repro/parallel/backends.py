@@ -52,17 +52,19 @@ from __future__ import annotations
 import abc
 import math
 import os
+import queue
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import as_completed as _futures_as_completed
 from typing import Callable, Sequence
 
 from repro.errors import BackendError, ValidationError
 from repro.utils.validation import check_positive, check_positive_int
 
 __all__ = ["ExecutionBackend", "SerialBackend", "ThreadBackend",
-           "ProcessBackend", "make_backend", "suggest_chunksize",
-           "ChunkAutotuner"]
+           "ProcessBackend", "TaskHandle", "make_backend",
+           "suggest_chunksize", "ChunkAutotuner"]
 
 
 def suggest_chunksize(n_tasks: int, workers: int, *,
@@ -226,6 +228,57 @@ class _TimedCall:
         return result, idx, t0, t1, os.getpid(), threading.get_ident()
 
 
+class TaskHandle:
+    """One submitted task: poll :attr:`done`, collect with :meth:`result`.
+
+    The minimal future the scheduler layer needs — a future ``ClusterBackend``
+    (ROADMAP item 5) only has to produce objects with this surface. Worker
+    exceptions are captured and re-raised from :meth:`result`, matching
+    ``map``'s propagation semantics.
+    """
+
+    __slots__ = ("_result", "_error", "_done")
+
+    def __init__(self):
+        self._result = None
+        self._error: BaseException | None = None
+        self._done = False
+
+    def _finish(self, result=None, error: BaseException | None = None) -> None:
+        self._result = result
+        self._error = error
+        self._done = True
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def result(self):
+        if not self._done:
+            raise BackendError("task has not completed; wait on "
+                               "as_completed() before collecting")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+
+class _FutureHandle(TaskHandle):
+    """Thread-backend handle wrapping a ``concurrent.futures.Future``."""
+
+    __slots__ = ("_future",)
+
+    def __init__(self, future):
+        super().__init__()
+        self._future = future
+
+    @property
+    def done(self) -> bool:
+        return self._future.done()
+
+    def result(self):
+        return self._future.result()
+
+
 class ExecutionBackend(abc.ABC):
     """Maps a worker over rank tasks, preserving rank order.
 
@@ -237,6 +290,13 @@ class ExecutionBackend(abc.ABC):
     Subclasses implement :meth:`_run_map` (the raw pool mapping);
     :meth:`map` adds the open-check and, when a tracer or metrics registry
     is attached, the per-task instrumentation.
+
+    Beside the bulk :meth:`map`, every backend exposes two scheduling
+    primitives — :meth:`submit` (one task, returns a :class:`TaskHandle`)
+    and :meth:`as_completed` (yield handles in completion order) — which
+    is all :class:`~repro.parallel.sched.WorkStealingScheduler` needs to
+    steal for real. Handles submitted on a backend should be drained via
+    ``as_completed`` before the backend is closed.
     """
 
     name: str = "backend"
@@ -267,6 +327,31 @@ class ExecutionBackend(abc.ABC):
             nested = self._dispatch_map(_ChunkCall(worker), chunks)
             return [result for chunk in nested for result in chunk]
         return self._dispatch_map(worker, tasks)
+
+    def submit(self, worker: Callable, task) -> TaskHandle:
+        """Run one task, returning a :class:`TaskHandle`.
+
+        The base implementation executes eagerly in the caller's thread
+        (the serial semantics); pooled backends override it to dispatch
+        asynchronously. Worker exceptions are captured on the handle and
+        re-raised from ``result()``.
+        """
+        self._check_open()
+        handle = TaskHandle()
+        try:
+            handle._finish(result=worker(task))
+        except Exception as exc:
+            handle._finish(error=exc)
+        return handle
+
+    def as_completed(self, handles: Sequence[TaskHandle]):
+        """Yield the given handles as they complete.
+
+        Eager backends complete at submit time, so the base implementation
+        yields in submission order — which makes the serial work-stealing
+        schedule deterministic by construction.
+        """
+        yield from handles
 
     def _resolve_chunksize(self, chunksize, n_tasks: int) -> int:
         if chunksize is None:
@@ -358,6 +443,15 @@ class ThreadBackend(ExecutionBackend):
     def _run_map(self, worker: Callable, tasks: Sequence) -> list:
         return list(self._ensure_pool().map(worker, tasks))
 
+    def submit(self, worker: Callable, task) -> TaskHandle:
+        self._check_open()
+        return _FutureHandle(self._ensure_pool().submit(worker, task))
+
+    def as_completed(self, handles: Sequence[TaskHandle]):
+        mapping = {h._future: h for h in handles}
+        for future in _futures_as_completed(mapping):
+            yield mapping[future]
+
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
@@ -395,6 +489,9 @@ class ProcessBackend(ExecutionBackend):
         self.last_shm_segments: tuple[str, ...] = ()
         self._pool = None
         self._broken = False
+        #: Completion queue feeding :meth:`as_completed`; the pool's
+        #: result-handler thread pushes handles here from the callbacks.
+        self._done_q: queue.SimpleQueue = queue.SimpleQueue()
 
     def map(self, worker: Callable, tasks: Sequence, *,
             chunksize: int | str | None = None) -> list:
@@ -420,6 +517,45 @@ class ProcessBackend(ExecutionBackend):
             # segments by the time we get here, so close + unlink cannot
             # race a reader.
             session.close()
+
+    def submit(self, worker: Callable, task) -> TaskHandle:
+        """Dispatch one picklable task asynchronously.
+
+        Bypasses the shared-memory transport (steal-scheduled rank tasks
+        are small task descriptions, not bulk arrays). Pool failures are
+        wrapped in :class:`BackendError` on the handle, matching ``map``.
+        """
+        self._check_open()
+        pool = self._ensure_pool()
+        handle = TaskHandle()
+
+        def _ok(value, handle=handle):
+            handle._finish(result=value)
+            self._done_q.put(handle)
+
+        def _err(exc, handle=handle):
+            self._broken = True
+            wrapped = BackendError(f"process pool execution failed: {exc}")
+            wrapped.__cause__ = exc
+            handle._finish(error=wrapped)
+            self._done_q.put(handle)
+
+        pool.apply_async(worker, (task,), callback=_ok, error_callback=_err)
+        return handle
+
+    def as_completed(self, handles: Sequence[TaskHandle]):
+        pending = {id(h): h for h in handles}
+        for h in list(pending.values()):
+            if h.done:
+                del pending[id(h)]
+                yield h
+        while pending:
+            h = self._done_q.get()
+            # Entries for handles already yielded from the done-check (or
+            # from an earlier, abandoned iterator) are stale: skip them.
+            if id(h) in pending:
+                del pending[id(h)]
+                yield h
 
     def _ensure_pool(self):
         if self._pool is None:

@@ -316,6 +316,12 @@ class RunReport:
     its ledger row. Like wall ``duration``, it is excluded from the
     canonical serialization — two replays of one (plan, policy) must stay
     byte-identical even though each replay gets a fresh id.
+
+    ``sched`` (a :class:`~repro.parallel.sched.SchedStats`, or ``None``
+    under the static path) records how the scheduler moved the surviving
+    attempts between workers. Excluded from the canonical serialization
+    for the same reason as ``run_id``: on real backends the steal schedule
+    is a wall-clock race, while the *results* stay bitwise.
     """
 
     p: int
@@ -323,6 +329,7 @@ class RunReport:
     attempts: tuple[RankAttempt, ...] = ()
     lost_ranks: tuple[int, ...] = ()
     run_id: str | None = None
+    sched: object | None = None
 
     @property
     def n_retries(self) -> int:
@@ -417,7 +424,8 @@ def _guarded_call(args):
 def resilient_map(backend, worker, tasks, *, plan: FaultPlan | None = None,
                   policy: FaultPolicy | str | None = None, tracer=None,
                   chunksize: int | str | None = None,
-                  run_id: str | None = None):
+                  run_id: str | None = None, scheduler=None,
+                  costs=None):
     """Map ``worker`` over ``tasks`` with fault injection and recovery.
 
     Returns ``(results, report)`` where ``results[r]`` is rank r's value
@@ -441,6 +449,16 @@ def resilient_map(backend, worker, tasks, *, plan: FaultPlan | None = None,
     traces and the run ledger correlate by id. It never enters the
     report's canonical serialization.
 
+    ``scheduler`` (a :class:`~repro.parallel.sched.Scheduler`, strategy
+    name, or ``None`` for the historical static path) decides how each
+    round's attempt batch meets the workers. Injection stays keyed by
+    **task id** (``plan.fault_for(r, attempt)``), not by worker placement,
+    so a stolen task carries its fault with it and a steal-scheduled
+    recovered run still equals the fault-free run bitwise. ``costs``
+    (optional per-task estimates, same indexing as ``tasks``) feeds the
+    LPT strategy; each retry round passes the surviving subset through.
+    The per-round scheduling stats are folded into ``report.sched``.
+
     Raises :class:`FaultError` under ``fail_fast`` on the first fault,
     under ``retry`` on exhaustion, and under ``degrade`` when no rank
     survives.
@@ -449,6 +467,14 @@ def resilient_map(backend, worker, tasks, *, plan: FaultPlan | None = None,
     policy = FaultPolicy.parse(policy)
     if tracer is None:
         tracer = getattr(backend, "tracer", None)
+    if scheduler is not None and not isinstance(scheduler, str):
+        sched_obj = scheduler
+    elif scheduler is not None:
+        from repro.parallel.sched import resolve_scheduler
+
+        sched_obj = resolve_scheduler(scheduler)
+    else:
+        sched_obj = None
     n = len(tasks)
     results: list = [None] * n
     attempts: list[RankAttempt] = []
@@ -456,6 +482,7 @@ def resilient_map(backend, worker, tasks, *, plan: FaultPlan | None = None,
     pending = list(range(n))
     attempt_no = {r: 0 for r in pending}
     idargs = {"run_id": run_id} if run_id else {}
+    round_stats: list = []
 
     while pending:
         batch = []
@@ -464,7 +491,15 @@ def resilient_map(backend, worker, tasks, *, plan: FaultPlan | None = None,
             inject = fault.kind.value if fault is not None else None
             sleep_s = policy.straggler_sleep * max(plan.slowdown(r) - 1.0, 0.0)
             batch.append((worker, copy.deepcopy(tasks[r]), inject, sleep_s))
-        outcomes = backend.map(_guarded_call, batch, chunksize=chunksize)
+        if sched_obj is None:
+            outcomes = backend.map(_guarded_call, batch, chunksize=chunksize)
+        else:
+            round_costs = ([costs[r] for r in pending]
+                           if costs is not None else None)
+            outcomes, stats = sched_obj.map(backend, _guarded_call, batch,
+                                            costs=round_costs,
+                                            chunksize=chunksize)
+            round_stats.append(stats)
 
         retry_ranks = []
         for r, out in zip(pending, outcomes):
@@ -511,11 +546,17 @@ def resilient_map(backend, worker, tasks, *, plan: FaultPlan | None = None,
 
     if len(lost) == n:
         raise FaultError(f"all {n} ranks lost; nothing left to degrade to")
+    sched_stats = None
+    if round_stats:
+        from repro.parallel.sched import SchedStats
+
+        sched_stats = SchedStats.combine(round_stats)
     report = RunReport(
         p=n, mode=policy.mode,
         attempts=tuple(sorted(attempts, key=lambda a: (a.rank, a.attempt))),
         lost_ranks=tuple(sorted(lost)),
         run_id=run_id,
+        sched=sched_stats,
     )
     return results, report
 

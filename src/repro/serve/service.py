@@ -121,6 +121,11 @@ class PricingService:
         ambient ledger (``$REPRO_LEDGER``). Each executed batch appends
         one ``kind="serve"`` record.
     clock : injectable monotonic clock for deadline tests.
+    scheduler : optional :class:`~repro.parallel.sched.Scheduler` or
+        strategy name deciding how each batch's miss tasks meet the
+        backend's workers (``None`` = the historical chunked static map).
+        Placement only — quotes are bitwise scheduler-invariant; steal
+        tallies land in the batch's ``kind="serve"`` ledger record.
     """
 
     def __init__(self, backend: ExecutionBackend | None = None, *,
@@ -129,7 +134,8 @@ class PricingService:
                  chunksize: int | str | None = "auto",
                  batched: bool = False, min_strip: int = 2,
                  metrics=None, ledger=None,
-                 clock: Callable[[], float] | None = None):
+                 clock: Callable[[], float] | None = None,
+                 scheduler=None):
         self._owns_backend = backend is None
         self.backend = backend if backend is not None else SerialBackend()
         self.cache = cache
@@ -138,6 +144,12 @@ class PricingService:
         self.chunksize = chunksize
         self.batched = bool(batched)
         self.min_strip = min_strip
+        if scheduler is None:
+            self.scheduler = None
+        else:
+            from repro.parallel.sched import resolve_scheduler
+
+            self.scheduler = resolve_scheduler(scheduler)
         if cache is not None and metrics is not None and cache.metrics is None:
             cache.metrics = metrics
         if metrics is not None and getattr(self.backend, "metrics", None) is None:
@@ -153,9 +165,17 @@ class PricingService:
             "max_batch": max_batch, "max_wait_s": max_wait_s,
             "chunksize": chunksize, "batched": self.batched,
             "min_strip": min_strip,
+            "scheduler": getattr(self.scheduler, "name", None),
         })
         #: Number of backend.map calls issued — zero for full-hit replays.
         self.map_calls = 0
+
+    def _dispatch(self, worker, work, cs):
+        """One scheduled (or plain) map over the batch's miss tasks."""
+        self.map_calls += 1
+        if self.scheduler is None:
+            return self.backend.map(worker, work, chunksize=cs), None
+        return self.scheduler.map(self.backend, worker, work, chunksize=cs)
 
     # -- streaming interface -------------------------------------------
 
@@ -212,6 +232,7 @@ class PricingService:
                 miss_indices.setdefault(key, []).append(i)
 
         tasks = [batch.requests[idx[0]] for idx in miss_indices.values()]
+        sched_stats = None
         if tasks:
             cs = (self._autotuner.chunksize(len(tasks))
                   if self._autotuner is not None else self.chunksize)
@@ -223,8 +244,7 @@ class PricingService:
 
                 plan = plan_batches(tasks, min_strip=self.min_strip)
                 work = plan.tasks()
-                results = self.backend.map(price_task, work, chunksize=cs)
-                self.map_calls += 1
+                results, sched_stats = self._dispatch(price_task, work, cs)
                 by_key: dict[str, PriceQuote] = {}
                 for item, result in zip(plan.strips, results):
                     for key, quote in zip(item.keys(), result):
@@ -244,8 +264,7 @@ class PricingService:
                         self.metrics.histogram(
                             "serve.strip_contracts").observe(len(s))
             else:
-                results = self.backend.map(price_request, tasks, chunksize=cs)
-                self.map_calls += 1
+                results, sched_stats = self._dispatch(price_request, tasks, cs)
                 for (key, indices), quote in zip(miss_indices.items(),
                                                  results):
                     for i in indices:
@@ -272,14 +291,17 @@ class PricingService:
             self.metrics.histogram("serve.batch_latency_s").observe(wall)
         ledger = self.ledger if self.ledger is not None else active_ledger()
         if ledger is not None:
+            extra = {"requests": n, "misses": len(tasks),
+                     "hits": n - sum(len(v) for v in miss_indices.values()),
+                     "map_calls": 1 if tasks else 0}
+            if sched_stats is not None:
+                extra["sched"] = sched_stats.ledger_extra()
             ledger.append(RunRecord(
                 run_id=new_run_id(), kind="serve", engine="service",
                 config=self._config_digest, backend=self.backend.name,
                 workers=int(getattr(self.backend, "max_workers", 1) or 1),
                 p=len(tasks), stages={"batch": wall}, wall_s=wall,
-                extra={"requests": n, "misses": len(tasks),
-                       "hits": n - sum(len(v) for v in miss_indices.values()),
-                       "map_calls": 1 if tasks else 0},
+                extra=extra,
                 git=git_sha()))
         return list(zip(batch.requests, quotes))
 

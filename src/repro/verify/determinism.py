@@ -13,7 +13,11 @@ by a single bit when the *execution* changes:
   PDE) — including MLMC and LSM executed *inside* backend workers, which
   is how a real scaling run would ship them to a process pool;
 * the serve layer: one batch vs many, serial vs chunked process maps, and
-  a 100 % cache-hit replay must all produce the same quote bits.
+  a 100 % cache-hit replay must all produce the same quote bits;
+* the execute-stage scheduler: static, LPT and work-stealing placements
+  (on every backend, with and without fault retries) must agree bitwise,
+  and the virtual-time steal schedule replays byte-identically from its
+  seed.
 
 A violation means a nondeterministic reduction (unordered sum, shared RNG
 state, thread-dependent accumulation) crept in; the checker reports the
@@ -384,6 +388,55 @@ def check_risk(n_paths: int, seed: int) -> list[DeterminismResult]:
     return out
 
 
+def check_scheduler(n_paths: int, seed: int) -> list[DeterminismResult]:
+    """Scheduling is placement only: a scheduled run must price bitwise
+    like the static run on every backend, a stolen task that faults and
+    retries must still land on the fault-free bits, and the virtual-time
+    steal schedule itself must be a pure function of its seed."""
+    from repro.core.mc_parallel import ParallelMCPricer
+    from repro.parallel.backends import make_backend
+    from repro.parallel.faults import FaultPlan
+    from repro.parallel.sched import simulate_schedule
+
+    model = MultiAssetGBM.equicorrelated(3, 100.0, 0.25, 0.05, 0.3)
+    payoff = BasketCall([1 / 3] * 3, 100.0)
+
+    def run(backend=None, **kw):
+        pricer = ParallelMCPricer(n_paths, seed=seed, backend=backend, **kw)
+        return float_bits(pricer.price(model, payoff, 1.0, 6).price)
+
+    out = []
+    # Every (strategy, backend) cell against the serial static reference.
+    bits = {"static-serial": run()}
+    for strategy in ("lpt", "steal"):
+        for name in ("serial", "thread", "process"):
+            with make_backend(name, 2) as backend:
+                bits[f"{strategy}-{name}"] = run(backend=backend,
+                                                 scheduler=strategy)
+    out.append(_verdict("scheduler", "parallel-mc basket-d3 p=6, "
+                                     "strategy x backend", bits))
+
+    # A crash under stealing retries on the same bits as fault-free static.
+    with make_backend("thread", 2) as backend:
+        out.append(_verdict("scheduler", "steal + retry == fault-free", {
+            "fault-free": bits["static-serial"],
+            "steal-retry": run(backend=backend, scheduler="steal",
+                               faults=FaultPlan.single_crash(1),
+                               policy="retry"),
+        }))
+
+    # The simulated steal schedule replays byte-identically from its seed.
+    costs = [float((7 * i) % 11 + 1) for i in range(24)]
+    digests = {
+        f"replay{i}": simulate_schedule(costs, 4, strategy="steal",
+                                        seed=seed).digest()
+        for i in range(2)
+    }
+    out.append(_verdict("scheduler", "virtual steal schedule digest",
+                        digests))
+    return out
+
+
 #: Name → check callable; each takes ``(n_paths, seed)``.
 DETERMINISM_CHECKS = {
     "backend-invariance": check_backend_invariance,
@@ -394,6 +447,7 @@ DETERMINISM_CHECKS = {
     "strip-batching": check_strip_batching,
     "gateway": check_gateway,
     "risk": check_risk,
+    "scheduler": check_scheduler,
 }
 
 
